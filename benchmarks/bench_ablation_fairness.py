@@ -1,0 +1,123 @@
+"""Ablation: multi-tenant fairness on the DPU (§5 future work, implemented).
+
+The paper plans to "stress multi-tenant scheduling and fairness on the
+DPU".  Three tenants with unequal offered load share one DPU data plane:
+
+* without per-tenant queues, the most aggressive tenant wins (low Jain
+  fairness index);
+* with the SFQ scheduler at equal weights, shares equalize (index → 1);
+* with 4:2:1 weights, shares track the configured ratios.
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.report import Table
+from repro.core import Ros2Config, Ros2System
+from repro.core.qos import QosScheduler
+from repro.hw.specs import GIB, MIB
+from repro.sim import Environment
+
+CACHE = CellCache()
+
+#: Offered load (flood lanes) per tenant: deliberately skewed.
+LANES = {"t0": 24, "t1": 8, "t2": 2}
+MEASURE = 0.15
+RAMP = 0.05
+
+
+def run_scenario(mode: str):
+    """mode: 'none' | 'equal' | 'weighted'; returns per-tenant GiB/s."""
+
+    def _run():
+        env = Environment()
+        system = Ros2System(env, Ros2Config(transport="rdma", client="dpu",
+                                            n_ssds=4))
+        tokens = {name: system.register_tenant(name) for name in LANES}
+        if mode == "equal":
+            system.service.enable_qos(9 * GIB)
+        elif mode == "weighted":
+            system.service.enable_qos(
+                9 * GIB, weights={"t0": 4.0, "t1": 2.0, "t2": 1.0}
+            )
+        counts = {name: 0 for name in LANES}
+
+        def setup(env):
+            yield from system.start()
+            out = {}
+            for name in LANES:
+                s = yield from system.open_session(tokens[name])
+                fh = yield from s.create(f"/{name}.dat")
+                out[name] = (s.data_port(), fh)
+            return out
+
+        p = env.process(setup(env))
+        env.run(until=p)
+        ports = p.value
+        measure_from = env.now + RAMP
+
+        def writer(env, name, k):
+            port, fh = ports[name]
+            ctx = port.new_context()
+            off = k * 64 * MIB
+            while True:
+                yield from port.write(ctx, fh, off % (1024 * MIB), nbytes=MIB)
+                off += MIB
+                if env.now >= measure_from:
+                    counts[name] += 1
+
+        for name, lanes in LANES.items():
+            for k in range(lanes):
+                env.process(writer(env, name, k))
+        env.run(until=measure_from)
+        for name in counts:
+            counts[name] = 0
+        env.run(until=measure_from + MEASURE)
+        return {name: counts[name] * MIB / MEASURE for name in LANES}
+
+    return CACHE.get_or_run((mode,), _run)
+
+
+@pytest.mark.parametrize("mode", ["none", "equal", "weighted"])
+def test_fairness_case(benchmark, mode):
+    rates = benchmark.pedantic(lambda: run_scenario(mode), rounds=1, iterations=1)
+    assert all(r >= 0 for r in rates.values())
+
+
+def test_fairness_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: 3-tenant fairness on the DPU (offered load 24:8:2 lanes, "
+        "1 MiB writes, RDMA, 4 SSDs)",
+        ["t0 GiB/s", "t1 GiB/s", "t2 GiB/s", "Jain index"],
+        row_header="scheduler",
+    )
+    indices = {}
+    for mode, label in [("none", "no per-tenant queues"),
+                        ("equal", "SFQ, equal weights"),
+                        ("weighted", "SFQ, weights 4:2:1")]:
+        rates = run_scenario(mode)
+        indices[mode] = QosScheduler.jain_index(list(rates.values()))
+        table.add_row(label, [
+            f"{rates['t0'] / GIB:.2f}", f"{rates['t1'] / GIB:.2f}",
+            f"{rates['t2'] / GIB:.2f}", f"{indices[mode]:.3f}",
+        ])
+
+    weighted = run_scenario("weighted")
+    ratio_01 = weighted["t0"] / weighted["t1"]
+    ratio_12 = weighted["t1"] / weighted["t2"]
+    lines = [
+        f"[{'OK ' if indices['equal'] > indices['none'] + 0.1 else 'OUT'}] "
+        f"SFQ raises fairness (Jain {indices['none']:.2f} -> "
+        f"{indices['equal']:.2f})",
+        f"[{'OK ' if indices['equal'] > 0.95 else 'OUT'}] equal weights reach "
+        f"near-perfect fairness ({indices['equal']:.3f})",
+        f"[{'OK ' if 1.6 < ratio_01 < 2.5 and 1.6 < ratio_12 < 2.5 else 'OUT'}] "
+        f"4:2:1 weights hold ({ratio_01:.2f}:{ratio_12:.2f}:1 measured)",
+    ]
+    text = table.render() + "\n\n" + "\n".join(lines)
+    write_report(results_dir, "ablation_fairness.txt", text)
+    print("\n" + text)
+    assert indices["equal"] > indices["none"] + 0.1
+    assert indices["equal"] > 0.95
+    assert 1.6 < ratio_01 < 2.5 and 1.6 < ratio_12 < 2.5

@@ -1,0 +1,132 @@
+"""Ablation: host-side resource savings from SmartNIC offload (§5).
+
+The paper's discussion names this as unmeasured future work: "Our study
+does not yet quantify host-side resource savings".  The simulated testbed
+can: we run the same DFS workload with the client on the host vs on the
+DPU and account every x86-host CPU second consumed (core pool, TCP RX
+cores, serialized stack sections, job threads), reporting host
+core-seconds per GiB moved.
+
+Expected shape: host-resident TCP burns the most host CPU per byte;
+host-resident RDMA much less (kernel bypass); with the client offloaded
+to the BlueField the host spends ~nothing — the offload argument in one
+table.
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.report import Table
+from repro.core import Ros2Config, Ros2System
+from repro.hw.specs import GIB, MIB
+from repro.sim import Environment
+
+CACHE = CellCache()
+
+CONFIGS = [("tcp", "host"), ("rdma", "host"), ("tcp", "dpu"), ("rdma", "dpu")]
+MEASURE = 0.1
+RAMP = 0.03
+JOBS, LANES = 8, 8
+
+
+def host_cpu_seconds(node, ctxs) -> float:
+    """Total x86-host core-seconds: pools, locks, and job threads."""
+    total = node.cpu.busy_time + node.tcp_rx_cpu.busy_time
+    total += sum(sec.busy_time for sec in node._locks.values())
+    total += sum(ctx.busy_time for ctx in ctxs)
+    return total
+
+
+def run_case(provider: str, client: str):
+    def _run():
+        env = Environment()
+        system = Ros2System(env, Ros2Config(transport=provider, client=client,
+                                            n_ssds=4))
+        token = system.register_tenant("acct")
+        moved = [0]
+        host = None  # the x86 launcher host
+        ctxs = []
+
+        def setup(env):
+            yield from system.start()
+            session = yield from system.open_session(token)
+            fh = yield from session.create("/acct.dat")
+            return session.data_port(), fh
+
+        p = env.process(setup(env))
+        env.run(until=p)
+        port, fh = p.value
+        host = system.launcher_node
+        measure_from = env.now + RAMP
+        cpu_at_start = [None]
+
+        def writer(env, j, k):
+            ctx = port.new_context()
+            # Job threads run on the client node; count them against the
+            # host only when the client *is* the host.
+            if client == "host":
+                ctxs.append(ctx)
+            off = (j * LANES + k) * 32 * MIB
+            while True:
+                yield from port.write(ctx, fh, off % (2048 * MIB), nbytes=MIB)
+                off += MIB
+                if env.now >= measure_from:
+                    moved[0] += MIB
+
+        for j in range(JOBS):
+            for k in range(LANES):
+                env.process(writer(env, j, k))
+        env.run(until=measure_from)
+        moved[0] = 0
+        cpu_at_start[0] = host_cpu_seconds(host, ctxs)
+        env.run(until=measure_from + MEASURE)
+        cpu_spent = host_cpu_seconds(host, ctxs) - cpu_at_start[0]
+        gib = moved[0] / GIB
+        return {
+            "throughput": moved[0] / MEASURE,
+            "host_cores": cpu_spent / MEASURE,  # core-equivalents busy
+            "cpu_per_gib": cpu_spent / gib if gib else float("inf"),
+        }
+
+    return CACHE.get_or_run((provider, client), _run)
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_host_accounting(benchmark, cfg):
+    stats = benchmark.pedantic(lambda: run_case(*cfg), rounds=1, iterations=1)
+    assert stats["throughput"] > 0
+
+
+def test_host_savings_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: x86-host CPU consumed by the storage data path "
+        "(1 MiB writes, 4 SSDs)",
+        ["GiB/s", "host cores busy", "core-sec per GiB"],
+        row_header="transport/client",
+    )
+    for provider, client in CONFIGS:
+        s = run_case(provider, client)
+        table.add_row(f"{provider}/{client}", [
+            f"{s['throughput'] / GIB:.2f}",
+            f"{s['host_cores']:.2f}",
+            f"{s['cpu_per_gib']:.3f}",
+        ])
+
+    tcp_host = run_case("tcp", "host")["cpu_per_gib"]
+    rdma_host = run_case("rdma", "host")["cpu_per_gib"]
+    tcp_dpu = run_case("tcp", "dpu")["cpu_per_gib"]
+    rdma_dpu = run_case("rdma", "dpu")["cpu_per_gib"]
+    lines = [
+        f"[{'OK ' if rdma_host < 0.5 * tcp_host else 'OUT'}] kernel bypass: "
+        f"host RDMA uses <50% of host TCP CPU per GiB "
+        f"({rdma_host:.3f} vs {tcp_host:.3f})",
+        f"[{'OK ' if max(tcp_dpu, rdma_dpu) < 0.05 * tcp_host else 'OUT'}] "
+        "offload: with the client on the BlueField the host data-path CPU "
+        f"is negligible ({tcp_dpu:.4f} / {rdma_dpu:.4f} core-sec/GiB)",
+    ]
+    text = table.render() + "\n\n" + "\n".join(lines)
+    write_report(results_dir, "ablation_host_savings.txt", text)
+    print("\n" + text)
+    assert rdma_host < 0.5 * tcp_host
+    assert max(tcp_dpu, rdma_dpu) < 0.05 * tcp_host

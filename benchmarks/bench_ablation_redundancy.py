@@ -1,0 +1,134 @@
+"""Ablation: redundancy classes — none (SX) vs mirroring (RP2) vs EC 2+1.
+
+The paper evaluates single-target paths; DAOS deployments pick a
+redundancy class per container.  This bench quantifies the classic
+trade-off on the ROS2 stack: write throughput and storage overhead for
+the three classes, plus the degraded-read penalty EC pays when a target
+is lost.
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.report import Table
+from repro.core import Ros2Config, Ros2System
+from repro.daos.types import ObjectClass
+from repro.hw.specs import GIB, MIB
+from repro.sim import Environment
+
+CACHE = CellCache()
+
+CLASSES = {"SX": ObjectClass.SX, "RP2": ObjectClass.RP2, "EC2P1": ObjectClass.EC2P1}
+TOTAL = 256 * MIB
+
+
+def run_case(cls_name: str):
+    def _run():
+        env = Environment()
+        system = Ros2System(env, Ros2Config(transport="rdma", client="host",
+                                            n_ssds=4))
+        token = system.register_tenant("redundancy")
+
+        def go(env):
+            yield from system.start()
+            session = yield from system.open_session(token)
+            state = system.service.sessions[session.session_id]
+            ctx = state.svc_ctx
+            f = yield from state.ns.create(ctx, "/data.bin",
+                                           oclass=CLASSES[cls_name])
+            lanes = 8
+            t0 = env.now
+
+            def lane(env, k):
+                lctx = state.daos.new_context()
+                for off in range(k * MIB, TOTAL, lanes * MIB):
+                    yield from f.write(lctx, off, nbytes=MIB)
+
+            procs = [env.process(lane(env, k)) for k in range(lanes)]
+            yield env.all_of(procs)
+            write_rate = TOTAL / (env.now - t0)
+
+            # Healthy read rate.
+            t0 = env.now
+            procs = [env.process(read_lane(env, state, f, k, lanes))
+                     for k in range(lanes)]
+            yield env.all_of(procs)
+            read_rate = TOTAL / (env.now - t0)
+
+            # Degraded read (one target down), only meaningful for
+            # redundant classes.
+            degraded_rate = None
+            if cls_name != "SX":
+                victim = system.engine.target_for(f.oid, b"\x00" * 8)
+                system.engine.fail_target(victim.index)
+                t0 = env.now
+                procs = [env.process(read_lane(env, state, f, k, lanes))
+                         for k in range(lanes)]
+                yield env.all_of(procs)
+                degraded_rate = TOTAL / (env.now - t0)
+
+            stored = sum(t.vos.nvme_used_bytes for t in system.engine.targets)
+            return write_rate, read_rate, degraded_rate, stored / TOTAL
+
+        def read_lane(env, state, f, k, lanes):
+            lctx = state.daos.new_context()
+            for off in range(k * MIB, TOTAL, lanes * MIB):
+                yield from f.read(lctx, off, MIB)
+
+        p = env.process(go(env))
+        env.run(until=p)
+        return p.value
+
+    return CACHE.get_or_run((cls_name,), _run)
+
+
+@pytest.mark.parametrize("cls_name", sorted(CLASSES))
+def test_redundancy_case(benchmark, cls_name):
+    write_rate, read_rate, _, overhead = benchmark.pedantic(
+        lambda: run_case(cls_name), rounds=1, iterations=1
+    )
+    assert write_rate > 0 and read_rate > 0
+
+
+def test_redundancy_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: redundancy classes (1 MiB I/O, RDMA host client, 4 SSDs)",
+        ["write GiB/s", "read GiB/s", "degraded read", "storage overhead"],
+        row_header="class",
+    )
+    stats = {}
+    for name in ["SX", "RP2", "EC2P1"]:
+        w, r, d, ov = run_case(name)
+        stats[name] = (w, r, d, ov)
+        table.add_row(name, [
+            f"{w / GIB:.2f}", f"{r / GIB:.2f}",
+            f"{d / GIB:.2f}" if d else "n/a",
+            f"{ov:.2f}x",
+        ])
+
+    lines = [
+        f"[{'OK ' if abs(stats['RP2'][3] - 2.0) < 0.05 else 'OUT'}] RP2 stores "
+        f"2x ({stats['RP2'][3]:.2f}x)",
+        f"[{'OK ' if abs(stats['EC2P1'][3] - 1.5) < 0.05 else 'OUT'}] EC2P1 "
+        f"stores 1.5x ({stats['EC2P1'][3]:.2f}x)",
+        f"[{'OK ' if stats['SX'][0] >= stats['EC2P1'][0] >= 0 and stats['SX'][0] > stats['RP2'][0] else 'OUT'}] "
+        "durability costs write throughput (SX fastest)",
+        # In a 2+1 layout a degraded read touches the SAME byte count
+        # (sibling + parity instead of both data cells) and XOR is cheap,
+        # so throughput holds - the penalty only appears for wider groups.
+        f"[{'OK ' if stats['EC2P1'][2] and abs(stats['EC2P1'][2] / stats['EC2P1'][1] - 1) < 0.15 else 'OUT'}] "
+        "EC 2+1 degraded reads hold throughput (byte-count-neutral "
+        f"reconstruction: {(stats['EC2P1'][2] or 0) / GIB:.2f} vs "
+        f"{stats['EC2P1'][1] / GIB:.2f} GiB/s)",
+        f"[{'OK ' if stats['RP2'][2] and abs(stats['RP2'][2] / stats['RP2'][1] - 1) < 0.15 else 'OUT'}] "
+        "RP2 failover reads hold throughput (served by the surviving replica)",
+    ]
+    text = table.render() + "\n\n" + "\n".join(lines)
+    write_report(results_dir, "ablation_redundancy.txt", text)
+    print("\n" + text)
+    assert abs(stats["RP2"][3] - 2.0) < 0.05
+    assert abs(stats["EC2P1"][3] - 1.5) < 0.05
+    assert stats["SX"][0] > stats["RP2"][0]
+    assert abs(stats["EC2P1"][2] / stats["EC2P1"][1] - 1) < 0.15
+    assert abs(stats["RP2"][2] / stats["RP2"][1] - 1) < 0.15

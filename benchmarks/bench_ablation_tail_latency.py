@@ -1,0 +1,85 @@
+"""Ablation: latency distributions — TCP vs RDMA at moderate load.
+
+The background section credits RDMA designs with "predictable low
+latency" (§2.2).  Throughput plots hide that; this bench runs the same
+4 KiB random-read workload at ~60 % of each transport's capacity and
+compares p50/p99 latency across transport x client placement — showing
+RDMA's tighter distribution and the DPU's added-but-bounded cost.
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.report import Table
+from repro.bench.runner import run_ros2_fio
+from repro.core import Ros2Config, Ros2System
+from repro.hw.specs import KIB, MIB
+from repro.sim import Environment
+from repro.workload.fio import FioJobSpec
+
+CACHE = CellCache()
+
+CONFIGS = [("tcp", "host"), ("tcp", "dpu"), ("rdma", "host"), ("rdma", "dpu")]
+
+#: Moderate load: jobs x iodepth chosen to sit near 60% of each
+#: configuration's 4 KiB ceiling (queueing shows, saturation doesn't).
+LOAD = {("tcp", "host"): (8, 4), ("tcp", "dpu"): (4, 4),
+        ("rdma", "host"): (8, 6), ("rdma", "dpu"): (6, 4)}
+
+
+def run_case(provider: str, client: str):
+    def _run():
+        env = Environment()
+        system = Ros2System(env, Ros2Config(transport=provider, client=client,
+                                            n_ssds=1))
+        jobs, qd = LOAD[(provider, client)]
+        spec = FioJobSpec(rw="randread", bs=4 * KIB, numjobs=jobs, iodepth=qd,
+                          runtime=0.05, ramp_time=0.015, size=48 * MIB,
+                          record_latency=True)
+        return run_ros2_fio(system, spec)
+
+    return CACHE.get_or_run((provider, client), _run)
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_latency_case(benchmark, cfg):
+    result = benchmark.pedantic(lambda: run_case(*cfg), rounds=1, iterations=1)
+    assert result.latency["count"] > 0
+
+
+def test_tail_latency_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: 4 KiB randread latency at ~60% load (us)",
+        ["p50", "p95", "p99", "KIOPS"],
+        row_header="transport/client",
+    )
+    lat = {}
+    for provider, client in CONFIGS:
+        r = run_case(provider, client)
+        lat[(provider, client)] = r.latency
+        table.add_row(f"{provider}/{client}", [
+            f"{r.latency['p50'] * 1e6:.0f}",
+            f"{r.latency['p95'] * 1e6:.0f}",
+            f"{r.latency['p99'] * 1e6:.0f}",
+            f"{r.kiops:.0f}",
+        ])
+
+    rdma_h, tcp_h = lat[("rdma", "host")], lat[("tcp", "host")]
+    rdma_d = lat[("rdma", "dpu")]
+    lines = [
+        f"[{'OK ' if rdma_h['p50'] < tcp_h['p50'] else 'OUT'}] RDMA median "
+        f"beats TCP on the host ({rdma_h['p50'] * 1e6:.0f} vs "
+        f"{tcp_h['p50'] * 1e6:.0f} us)",
+        f"[{'OK ' if rdma_h['p99'] < tcp_h['p99'] else 'OUT'}] RDMA p99 beats "
+        f"TCP p99 ({rdma_h['p99'] * 1e6:.0f} vs {tcp_h['p99'] * 1e6:.0f} us)",
+        f"[{'OK ' if rdma_d['p99'] < tcp_h['p50'] * 4 else 'OUT'}] DPU RDMA "
+        "tail stays bounded (offload does not blow up p99: "
+        f"{rdma_d['p99'] * 1e6:.0f} us)",
+    ]
+    text = table.render() + "\n\n" + "\n".join(lines)
+    write_report(results_dir, "ablation_tail_latency.txt", text)
+    print("\n" + text)
+    assert rdma_h["p50"] < tcp_h["p50"]
+    assert rdma_h["p99"] < tcp_h["p99"]
+    assert rdma_d["p99"] < tcp_h["p50"] * 4

@@ -1,0 +1,112 @@
+"""Ablation: multi-tenant isolation on the DPU (§2.3, §5).
+
+The discussion argues offload "still delivers isolation and multi-tenant
+control (dedicated QPs/PDs, per-tenant queues and rate limits)".  This
+bench runs a victim tenant against a greedy neighbour on the same DPU,
+with and without a per-tenant rate limit, and reports the victim's
+throughput — the rate limiter is what keeps the neighbour from starving
+it.
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.report import Table
+from repro.core import Ros2Config, Ros2System
+from repro.hw.specs import GIB, MIB
+from repro.sim import Environment
+
+CACHE = CellCache()
+
+MEASURE = 0.12
+RAMP = 0.04
+
+
+def run_scenario(limit_noisy: bool):
+    """Victim + greedy neighbour on one DPU; returns both goodputs."""
+
+    def _run():
+        env = Environment()
+        system = Ros2System(env, Ros2Config(transport="rdma", client="dpu", n_ssds=4))
+        victim_token = system.register_tenant("victim")
+        noisy_policy = {"bytes_per_sec": 2.0 * GIB, "burst_bytes": 256 * MIB} \
+            if limit_noisy else {}
+        noisy_token = system.register_tenant("noisy", **noisy_policy)
+        counts = {"victim": 0, "noisy": 0}
+
+        def setup(env):
+            yield from system.start()
+            sv = yield from system.open_session(victim_token)
+            sn = yield from system.open_session(noisy_token)
+            fhv = yield from sv.create("/victim.dat")
+            fhn = yield from sn.create("/noisy.dat")
+            return sv.data_port(), fhv, sn.data_port(), fhn
+
+        p = env.process(setup(env))
+        env.run(until=p)
+        pv, fhv, pn, fhn = p.value
+
+        t0 = env.now
+        measure_from = t0 + RAMP
+
+        def writer(env, port, fh, who, lanes_offset):
+            ctx = port.new_context()
+            offset = lanes_offset * 64 * MIB
+            while True:
+                yield from port.write(ctx, fh, offset % (1024 * MIB), nbytes=MIB)
+                offset += MIB
+                if env.now >= measure_from:
+                    counts[who] += 1
+
+        # The noisy tenant floods with 24 lanes; the victim runs 8.
+        for i in range(8):
+            env.process(writer(env, pv, fhv, "victim", i))
+        for i in range(24):
+            env.process(writer(env, pn, fhn, "noisy", i))
+        env.run(until=measure_from)
+        counts["victim"] = counts["noisy"] = 0
+        env.run(until=measure_from + MEASURE)
+        return {
+            "victim": counts["victim"] * MIB / MEASURE,
+            "noisy": counts["noisy"] * MIB / MEASURE,
+        }
+
+    return CACHE.get_or_run(("scenario", limit_noisy), _run)
+
+
+@pytest.mark.parametrize("limited", [False, True], ids=["unlimited", "rate-limited"])
+def test_noisy_neighbour(benchmark, limited):
+    rates = benchmark.pedantic(lambda: run_scenario(limited), rounds=1, iterations=1)
+    assert rates["victim"] > 0
+
+
+def test_isolation_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    free = run_scenario(False)
+    shaped = run_scenario(True)
+    table = Table(
+        "Ablation: victim throughput vs a greedy neighbour on the DPU "
+        "(1 MiB writes, RDMA, 4 SSDs)",
+        ["victim GiB/s", "noisy GiB/s"],
+        row_header="policy",
+    )
+    table.add_row("no limits", [f"{free['victim'] / GIB:.2f}", f"{free['noisy'] / GIB:.2f}"])
+    table.add_row("noisy capped @2GiB/s",
+                  [f"{shaped['victim'] / GIB:.2f}", f"{shaped['noisy'] / GIB:.2f}"])
+
+    gain = shaped["victim"] / max(free["victim"], 1.0)
+    # The shaper admits at 2 GiB/s steady state; completions measured over a
+    # finite window carry pipeline slack (ops admitted during ramp complete
+    # inside the window), so allow ~25% on top of the configured cap.
+    cap_ok = shaped["noisy"] < 2.5 * GIB
+    lines = [
+        f"[{'OK ' if gain > 1.5 else 'OUT'}] rate limit restores victim "
+        f"throughput ({gain:.1f}x)",
+        f"[{'OK ' if cap_ok else 'OUT'}] noisy tenant held near its 2 GiB/s "
+        f"cap ({shaped['noisy'] / GIB:.2f} GiB/s)",
+    ]
+    text = table.render() + "\n\n" + "\n".join(lines)
+    write_report(results_dir, "ablation_tenant_isolation.txt", text)
+    print("\n" + text)
+    assert gain > 1.5
+    assert cap_ok

@@ -1,0 +1,94 @@
+"""Paper Fig. 1: diverse storage requirements of LLM tasks.
+
+Fig. 1 is the motivation figure: LLM pipelines stress storage in three
+very different ways (shuffled dataloader reads, bulk parameter loads,
+periodic checkpoints).  We reproduce it quantitatively: each phase's
+requirement profile (pattern, block size, direction) is characterized and
+then *run* against the assembled ROS2 stack (RDMA, host client, 4 SSDs)
+to show the delivered rates, alongside the B ~ G*r*s ingest requirement.
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.report import Table
+from repro.bench.runner import run_ros2_fio
+from repro.core import Ros2Config, Ros2System
+from repro.hw.specs import GIB, MIB
+from repro.sim import Environment
+from repro.workload.llm import (
+    CheckpointSpec,
+    DataloaderSpec,
+    LlmIngestModel,
+    ParameterLoadSpec,
+)
+
+CACHE = CellCache()
+
+PHASES = {
+    "dataloader": DataloaderSpec(),
+    "parameter_load": ParameterLoadSpec(),
+    "checkpoint": CheckpointSpec(),
+}
+
+
+def run_phase(name: str):
+    def _run():
+        env = Environment()
+        system = Ros2System(env, Ros2Config(transport="rdma", client="host", n_ssds=4))
+        spec = PHASES[name].fio_spec(runtime=0.05)
+        # Keep the simulated footprint tractable: cap per-job regions.
+        import dataclasses
+        spec = dataclasses.replace(spec, size=min(spec.size, 64 * MIB))
+        return run_ros2_fio(system, spec)
+
+    return CACHE.get_or_run((name,), _run)
+
+
+@pytest.mark.parametrize("phase", sorted(PHASES))
+def test_fig1_phase(benchmark, phase):
+    result = benchmark.pedantic(lambda: run_phase(phase), rounds=1, iterations=1)
+    assert result.total_ios > 0
+
+
+def test_fig1_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    req = Table(
+        "Fig. 1: storage requirement profile per LLM phase",
+        ["pattern", "direction", "block", "key pressure"],
+        row_header="phase",
+    )
+    req.add_row("dataloader", ["random", "read", "256 KiB",
+                               "IOPS + tail latency (shuffle)"])
+    req.add_row("parameter_load", ["sequential", "read", "1 MiB",
+                                   "burst bandwidth at job start"])
+    req.add_row("checkpoint", ["sequential", "write", "1 MiB",
+                               "sustained bandwidth, periodic"])
+
+    measured = Table(
+        "Delivered by ROS2 (RDMA, host client, 4 SSDs)",
+        ["GiB/s", "KIOPS"],
+        row_header="phase",
+    )
+    for name in sorted(PHASES):
+        r = run_phase(name)
+        measured.add_row(name, [f"{r.bandwidth_gib:.2f}", f"{r.kiops:.1f}"])
+
+    need = LlmIngestModel().node_ingest_rate()
+    delivered = run_phase("dataloader").bandwidth
+    ckpt = CheckpointSpec()
+    lines = [
+        f"required ingest per node (B ~ G*r*s, 8 GPUs): {need / GIB:.2f} GiB/s",
+        f"dataloader delivered: {delivered / GIB:.2f} GiB/s "
+        f"[{'OK ' if delivered > need else 'OUT'}] covers the requirement",
+        f"checkpoint requirement ({ckpt.state_bytes / GIB:.0f} GiB per "
+        f"{ckpt.period_sec:.0f}s): {ckpt.required_write_rate / GIB:.2f} GiB/s; "
+        f"delivered {run_phase('checkpoint').bandwidth / GIB:.2f} GiB/s "
+        f"[{'OK ' if run_phase('checkpoint').bandwidth > ckpt.required_write_rate else 'OUT'}]",
+    ]
+
+    text = req.render() + "\n\n" + measured.render() + "\n\n" + "\n".join(lines)
+    write_report(results_dir, "fig1_llm_requirements.txt", text)
+    print("\n" + text)
+    assert delivered > need
+    assert run_phase("checkpoint").bandwidth > ckpt.required_write_rate

@@ -1,0 +1,103 @@
+"""Paper Fig. 3: local FIO with the IO_URING engine.
+
+Sweeps jobs x {1 MiB throughput, 4 KiB IOPS} x {read, write, randread,
+randwrite} for 1 and 4 NVMe SSDs, and checks the paper's stated ceilings:
+
+* 1 SSD: reads plateau ~5-5.6 GiB/s, writes ~2.7 GiB/s, flat in numjobs;
+* 4 SSDs: reads ~20-22 GiB/s, writes ~10.6-10.7 GiB/s (near-linear);
+* 4 KiB IOPS grow ~80 K (1 job) -> ~600 K (16 jobs), nearly identical for
+  1 vs 4 SSDs (host-path limited).
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.calibration import PAPER_BANDS, describe_band
+from repro.bench.report import render_series
+from repro.bench.runner import run_fig3_cell
+from repro.hw.specs import KIB, MIB
+from repro.workload.fio import WORKLOADS
+
+JOBS = (1, 4, 16)
+SSDS = (1, 4)
+CACHE = CellCache()
+
+
+def cell(n_ssds: int, rw: str, bs: int, jobs: int):
+    return CACHE.get_or_run(
+        (n_ssds, rw, bs, jobs),
+        lambda: run_fig3_cell(rw, bs, jobs, n_ssds=n_ssds),
+    )
+
+
+@pytest.mark.parametrize("n_ssds", SSDS)
+@pytest.mark.parametrize("rw", WORKLOADS)
+@pytest.mark.parametrize("jobs", JOBS)
+def test_fig3_1mib(benchmark, n_ssds, rw, jobs):
+    result = benchmark.pedantic(
+        lambda: cell(n_ssds, rw, MIB, jobs), rounds=1, iterations=1
+    )
+    assert result.total_ios > 0
+
+
+@pytest.mark.parametrize("n_ssds", SSDS)
+@pytest.mark.parametrize("rw", WORKLOADS)
+@pytest.mark.parametrize("jobs", JOBS)
+def test_fig3_4k(benchmark, n_ssds, rw, jobs):
+    result = benchmark.pedantic(
+        lambda: cell(n_ssds, rw, 4 * KIB, jobs), rounds=1, iterations=1
+    )
+    assert result.total_ios > 0
+
+
+def test_fig3_report(benchmark, results_dir):
+    """Render Fig. 3a-3d and assert every stated paper band."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep in --benchmark-only runs
+    sections = []
+    for n_ssds in SSDS:
+        for bs, unit, conv in [(MIB, "GiB/s", lambda r: r.bandwidth),
+                               (4 * KIB, "KIOPS", lambda r: r.iops)]:
+            series = {
+                rw: [conv(cell(n_ssds, rw, bs, j)) for j in JOBS]
+                for rw in WORKLOADS
+            }
+            label = "a" if (n_ssds, bs) == (1, MIB) else \
+                    "b" if (n_ssds, bs) == (1, 4 * KIB) else \
+                    "c" if bs == MIB else "d"
+            sections.append(render_series(
+                f"Fig. 3{label}: local io_uring, {n_ssds} SSD(s), "
+                f"bs={'1MiB' if bs == MIB else '4KiB'}",
+                "numjobs", JOBS, series, unit,
+            ))
+
+    checks = [
+        ("fig3.1ssd.read.1mib", cell(1, "read", MIB, 4).bandwidth),
+        ("fig3.1ssd.write.1mib", cell(1, "write", MIB, 4).bandwidth),
+        ("fig3.4ssd.read.1mib", cell(4, "read", MIB, 16).bandwidth),
+        ("fig3.4ssd.write.1mib", cell(4, "write", MIB, 16).bandwidth),
+        ("fig3.4k.1job", cell(1, "randread", 4 * KIB, 1).iops),
+        ("fig3.4k.16job", cell(1, "randread", 4 * KIB, 16).iops),
+    ]
+    lines = [describe_band(PAPER_BANDS[k], v) for k, v in checks]
+
+    # Shape assertions from the implications paragraph:
+    # (a) one job saturates large-block per-device bandwidth,
+    flat = cell(1, "read", MIB, 1).bandwidth / cell(1, "read", MIB, 16).bandwidth
+    lines.append(f"[{'OK ' if flat > 0.9 else 'OUT'}] 1 job saturates 1 MiB reads "
+                 f"(1j/16j ratio {flat:.2f})")
+    # (b) drives scale large transfers near-linearly,
+    scale = cell(4, "read", MIB, 16).bandwidth / cell(1, "read", MIB, 16).bandwidth
+    lines.append(f"[{'OK ' if 3.4 < scale < 4.2 else 'OUT'}] 4-SSD read scaling {scale:.2f}x")
+    # (c) small-block IOPS are submission-limited, not drive-limited.
+    iops_ratio = cell(4, "randread", 4 * KIB, 16).iops / cell(1, "randread", 4 * KIB, 16).iops
+    lines.append(f"[{'OK ' if 0.85 < iops_ratio < 1.2 else 'OUT'}] 4 KiB IOPS "
+                 f"~independent of drive count ({iops_ratio:.2f}x)")
+
+    text = "\n\n".join(sections) + "\n\nPaper-vs-measured:\n" + "\n".join(lines)
+    write_report(results_dir, "fig3_local_fio.txt", text)
+    print("\n" + text)
+    for k, v in checks:
+        assert PAPER_BANDS[k].holds(v), describe_band(PAPER_BANDS[k], v)
+    assert flat > 0.9
+    assert 3.4 < scale < 4.2
+    assert 0.85 < iops_ratio < 1.2

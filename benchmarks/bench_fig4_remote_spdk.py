@@ -1,0 +1,114 @@
+"""Paper Fig. 4: remote SPDK NVMe-oF, TCP vs RDMA, one NVMe SSD.
+
+The paper sweeps client x server core counts {1,2,4,8,16}^2 and reports
+1 MiB throughput heatmaps (4a TCP, 4b RDMA) and 4 KiB IOPS heatmaps
+(4c TCP, 4d RDMA).  We sweep a representative sub-grid and check the
+stated shapes:
+
+* at 1 MiB, both transports plateau at the media ceiling once a few cores
+  are present (TCP ~ RDMA);
+* at 4 KiB, RDMA delivers substantially higher IOPS and keeps scaling
+  with cores, while TCP plateaus early.
+"""
+
+import pytest
+from conftest import CellCache, write_report
+
+from repro.bench.calibration import PAPER_BANDS, describe_band
+from repro.bench.report import format_heatmap
+from repro.bench.runner import run_fig4_cell
+from repro.hw.specs import KIB, MIB
+
+CORES = (1, 4, 16)
+GRID = [(c, s) for c in CORES for s in CORES]
+CACHE = CellCache()
+
+
+def cell(provider: str, rw: str, bs: int, c: int, s: int):
+    runtime = 0.03 if bs >= MIB else 0.02
+    return CACHE.get_or_run(
+        (provider, rw, bs, c, s),
+        lambda: run_fig4_cell(provider, rw, bs, c, s, runtime=runtime),
+    )
+
+
+@pytest.mark.parametrize("provider", ["ucx+tcp", "ucx+rc"])
+@pytest.mark.parametrize("cs", GRID, ids=lambda cs: f"c{cs[0]}s{cs[1]}")
+def test_fig4_1mib(benchmark, provider, cs):
+    result = benchmark.pedantic(
+        lambda: cell(provider, "read", MIB, *cs), rounds=1, iterations=1
+    )
+    assert result.total_ios > 0
+
+
+@pytest.mark.parametrize("provider", ["ucx+tcp", "ucx+rc"])
+@pytest.mark.parametrize("cs", GRID, ids=lambda cs: f"c{cs[0]}s{cs[1]}")
+def test_fig4_4k(benchmark, provider, cs):
+    result = benchmark.pedantic(
+        lambda: cell(provider, "randread", 4 * KIB, *cs), rounds=1, iterations=1
+    )
+    assert result.total_ios > 0
+
+
+def test_fig4_report(benchmark, results_dir):
+    """Render the four heatmaps and assert the stated shapes."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sections = []
+    for label, provider, rw, bs, unit, conv in [
+        ("4a TCP 1MiB read", "ucx+tcp", "read", MIB, "GiB/s", lambda r: r.bandwidth),
+        ("4b RDMA 1MiB read", "ucx+rc", "read", MIB, "GiB/s", lambda r: r.bandwidth),
+        ("4c TCP 4KiB randread", "ucx+tcp", "randread", 4 * KIB, "KIOPS",
+         lambda r: r.iops),
+        ("4d RDMA 4KiB randread", "ucx+rc", "randread", 4 * KIB, "KIOPS",
+         lambda r: r.iops),
+    ]:
+        values = {
+            (c, s): conv(cell(provider, rw, bs, c, s)) for c, s in GRID
+        }
+        sections.append(format_heatmap(
+            f"Fig. {label} (remote SPDK, 1 SSD)",
+            "client cores", "server cores", CORES, CORES, values, unit,
+        ))
+
+    # Shape checks from the text.
+    tcp_1m = cell("ucx+tcp", "read", MIB, 4, 4).bandwidth
+    rdma_1m = cell("ucx+rc", "read", MIB, 4, 4).bandwidth
+    ratio_1m = tcp_1m / rdma_1m
+    tcp_4k = cell("ucx+tcp", "randread", 4 * KIB, 4, 4).iops
+    rdma_4k = cell("ucx+rc", "randread", 4 * KIB, 4, 4).iops
+    ratio_4k = rdma_4k / tcp_4k
+    rdma_scaling = (cell("ucx+rc", "randread", 4 * KIB, 16, 16).iops
+                    / cell("ucx+rc", "randread", 4 * KIB, 1, 1).iops)
+
+    checks = [
+        ("fig4.1mib.tcp_vs_rdma_ratio", ratio_1m),
+        ("fig4.4k.rdma_vs_tcp_ratio", ratio_4k),
+        ("fig4.4k.rdma_core_scaling", rdma_scaling),
+    ]
+    lines = [describe_band(PAPER_BANDS[k], v) for k, v in checks]
+    # "TCP heatmaps show limited benefit from additional cores, while RDMA
+    # continues to gain": RDMA beats TCP in every matched cell, RDMA
+    # reaches the media ceiling, TCP never does.
+    rdma_wins_everywhere = all(
+        cell("ucx+rc", "randread", 4 * KIB, c, s).iops
+        > cell("ucx+tcp", "randread", 4 * KIB, c, s).iops
+        for c, s in GRID
+    )
+    tcp_best = max(cell("ucx+tcp", "randread", 4 * KIB, c, s).iops for c, s in GRID)
+    rdma_best = max(cell("ucx+rc", "randread", 4 * KIB, c, s).iops for c, s in GRID)
+    lines.append(
+        f"[{'OK ' if rdma_wins_everywhere else 'OUT'}] RDMA > TCP in every "
+        f"core-combination cell"
+    )
+    lines.append(
+        f"[{'OK ' if rdma_best > 1.5 * tcp_best else 'OUT'}] best RDMA cell "
+        f"({rdma_best / 1e3:.0f} K) >> best TCP cell ({tcp_best / 1e3:.0f} K)"
+    )
+
+    text = "\n\n".join(sections) + "\n\nPaper-vs-measured:\n" + "\n".join(lines)
+    write_report(results_dir, "fig4_remote_spdk.txt", text)
+    print("\n" + text)
+    for k, v in checks:
+        assert PAPER_BANDS[k].holds(v), describe_band(PAPER_BANDS[k], v)
+    assert rdma_wins_everywhere
+    assert rdma_best > 1.5 * tcp_best

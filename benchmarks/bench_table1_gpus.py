@@ -1,0 +1,71 @@
+"""Paper Table 1: NVIDIA data-center GPUs across generations, plus the
+ingest-rate implication (B_node ~ G * r * s) drawn from it (§2.1).
+
+Regenerates the table verbatim from :data:`repro.hw.specs.GPU_GENERATIONS`
+and derives the per-node ingest requirement sweep the section argues from.
+"""
+
+from conftest import write_report
+
+from repro.bench.report import Table
+from repro.hw.specs import GIB, GPU_GENERATIONS
+from repro.workload.llm import LlmIngestModel
+
+
+def render_table1() -> str:
+    table = Table(
+        "Table 1: NVIDIA data center GPUs across generations",
+        ["Arch", "Mem (GB)", "Mem BW (GB/s)", "NVLink", "FP16 TF", "FP8 TF", "FP4 TF"],
+        row_header="GPU",
+    )
+    for g in GPU_GENERATIONS:
+        table.add_row(g.name, [
+            g.architecture,
+            f"{g.memory_gb} {g.memory_type}",
+            f"{g.mem_bw_gbs:g}",
+            f"v{g.nvlink_gen}/{g.nvlink_gbs:g}GB/s",
+            f"{g.fp16_tflops:g}",
+            f"{g.fp8_tflops:g}" if g.fp8_tflops else "N/A",
+            f"{g.fp4_tflops:g}" if g.fp4_tflops else "N/A",
+        ])
+    return table.render()
+
+
+def render_ingest_sweep() -> str:
+    table = Table(
+        "Implication: required per-node ingest B ~ G*r*s (8 GPUs/node, "
+        "r scaled with tensor throughput)",
+        ["ingest (GiB/s)", "x P100"],
+        row_header="GPU",
+    )
+    sweep = LlmIngestModel.generation_sweep()
+    base = sweep[0][1]
+    for gpu, rate in sweep:
+        table.add_row(gpu.name, [f"{rate / GIB:.2f}", f"{rate / base:.1f}x"])
+    return table.render()
+
+
+def test_table1_matches_paper(benchmark):
+    """The datasheet rows the paper prints, regenerated."""
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    assert "B200" in text and "Blackwell" in text
+    assert "8000" in text  # B200 HBM bandwidth GB/s
+    assert "20000" in text  # B200 FP4 TFLOPS
+
+
+def test_ingest_model_is_multi_gib(benchmark):
+    """'Even conservative choices yield multi-GiB/s per node' (§2.1)."""
+    sweep = benchmark.pedantic(LlmIngestModel.generation_sweep, rounds=1, iterations=1)
+    by_name = {gpu.name: rate for gpu, rate in sweep}
+    assert by_name["H100"] > 2 * GIB
+    assert by_name["B200"] > by_name["P100"] * 100
+
+
+def test_table1_report(benchmark, results_dir):
+    def build():
+        return render_table1() + "\n\n" + render_ingest_sweep()
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    path = write_report(results_dir, "table1_gpus.txt", text)
+    print("\n" + text)
+    assert path

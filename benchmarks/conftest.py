@@ -1,0 +1,48 @@
+"""Shared infrastructure for the figure-reproduction benches.
+
+Each bench module accumulates its sweep cells in a module-level cache (the
+parametrized benchmark tests fill it; the final ``*_report`` test renders
+the figure table from it, computing any missing cells on demand so the
+report test also works standalone).  Rendered tables land in
+``benchmarks/results/`` and feed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where benches drop their rendered figure tables."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+class CellCache:
+    """Per-module sweep cache: benchmark tests fill it, reports read it."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[tuple, object] = {}
+
+    def get_or_run(self, key: tuple, fn: Callable[[], object]):
+        result = self._cells.get(key)
+        if result is None:
+            result = self._cells[key] = fn()
+        return result
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+def write_report(results_dir: str, name: str, text: str) -> str:
+    """Persist one rendered figure report and return its path."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: bring up ROS2 and do POSIX file I/O through the offloaded client.
+
+Builds the paper's testbed (Fig. 2) in one call — BlueField-3 DPU client,
+RDMA data plane, 4-SSD DAOS server — opens an authenticated session over
+the gRPC control plane, and walks the POSIX surface: mkdir, create, write,
+read, stat, readdir.  Data mode is on, so every byte is really stored,
+checksummed and read back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Ros2Config, Ros2System
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    system = Ros2System(env, Ros2Config(
+        transport="rdma",   # ucx+rc verbs provider
+        client="dpu",       # DFS client offloaded to the BlueField-3
+        n_ssds=4,
+        data_mode=True,     # carry real bytes end to end
+    ))
+    token = system.register_tenant("quickstart")
+
+    def workflow(env):
+        # -- control plane: session setup + namespace ops (gRPC) ---------
+        yield from system.start()
+        session = yield from system.open_session(token)
+        yield from session.mkdir("/datasets")
+        fh = yield from session.create("/datasets/hello.bin")
+
+        # -- data plane: POSIX I/O on the DPU-resident client ------------
+        port = session.data_port()
+        ctx = port.new_context()
+        payload = b"RDMA-first object storage, offloaded to the SmartNIC.\n" * 100
+        yield from port.write(ctx, fh, 0, data=payload)
+        readback = yield from port.read(ctx, fh, 0, len(payload))
+        assert readback == payload, "end-to-end data mismatch!"
+
+        # -- namespace queries -------------------------------------------
+        st = yield from session.stat("/datasets/hello.bin")
+        names = yield from session.readdir("/datasets")
+        caps = yield from session.get_caps(1 << 20)
+
+        print(f"wrote+verified {len(payload)} bytes through the DPU client")
+        print(f"stat: type={st['type']} size={st['size']} "
+              f"chunk={st['chunk_size']}")
+        print(f"readdir /datasets -> {names}")
+        print(f"capability exchange: rkey={caps['region'].rkey:#x} "
+              f"len={caps['region'].length}")
+        print(f"simulated time elapsed: {env.now * 1e3:.3f} ms")
+
+    done = env.process(workflow(env))
+    env.run(until=done)
+    print("quickstart complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Snapshots and time travel on the versioned object store.
+
+DAOS objects are transactional and versioned (§2.4): every write commits
+at an epoch, and reads can target any past epoch.  This example shows the
+capability end to end through ROS2:
+
+1. write three versions of a model config file,
+2. capture the container epoch after each version (a snapshot),
+3. read the file *as of* each snapshot — time travel — while the head
+   keeps moving,
+4. show an atomic multi-file transaction (rename + metadata) that a
+   snapshot either sees entirely or not at all.
+
+Run:  python examples/snapshot_time_travel.py
+"""
+
+from repro.core import Ros2Config, Ros2System
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    system = Ros2System(env, Ros2Config(transport="rdma", client="host",
+                                        data_mode=True))
+    token = system.register_tenant("historian")
+
+    def demo(env):
+        yield from system.start()
+        session = yield from system.open_session(token)
+        state = system.service.sessions[session.session_id]
+        ns, ctx, cont = state.ns, state.svc_ctx, state.cont
+
+        f = yield from ns.create(ctx, "/config.yaml")
+        snapshots = {}
+        for i, blob in enumerate([b"lr: 1e-3\n", b"lr: 5e-4\n", b"lr: 1e-4\n"]):
+            yield from f.write(ctx, 0, data=blob)
+            snapshots[f"v{i + 1}"] = yield from cont.query_epoch(ctx)
+            print(f"wrote v{i + 1} -> snapshot at epoch {snapshots[f'v{i + 1}']}")
+
+        # Time travel: read the file as of each snapshot.
+        for name, epoch in snapshots.items():
+            data = yield from f.read(ctx, 0, 9, epoch=epoch)
+            print(f"  read@{name} (epoch {epoch}): {data!r}")
+        head = yield from f.read(ctx, 0, 9)
+        print(f"  read@head: {head!r}")
+
+        # Atomic multi-op transaction: the namespace move either happened
+        # or it didn't — no snapshot can see a half-rename.
+        before_rename = yield from cont.query_epoch(ctx)
+        yield from ns.mkdir(ctx, "/archive")
+        yield from ns.rename(ctx, "/config.yaml", "/archive/config-v3.yaml")
+        after_rename = yield from cont.query_epoch(ctx)
+
+        old_view = yield from ns.readdir(ctx, "/")
+        print(f"head sees: / -> {old_view}")
+        # A reader pinned to the pre-rename snapshot still finds the file
+        # at its old path (entry lookups honour the epoch).
+        entry = yield from cont.obj(ns.root_oid).kv_get(
+            ctx, b"config.yaml", b"entry", epoch=before_rename
+        )
+        print(f"snapshot@{before_rename} still resolves /config.yaml "
+              f"-> oid {entry['oid']}")
+        print(f"epochs: before rename {before_rename}, after {after_rename}")
+
+    done = env.process(demo(env))
+    env.run(until=done)
+    print("snapshot demo complete.")
+
+
+if __name__ == "__main__":
+    main()

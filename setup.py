@@ -1,0 +1,5 @@
+"""Setup shim for offline legacy editable installs (no wheel available)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""ROS2 reproduction: an RDMA-first object storage system with SmartNIC
+offload, rebuilt on a calibrated simulated testbed.
+
+Public API tour
+---------------
+
+* :class:`repro.sim.Environment` — the simulation clock everything runs on.
+* :func:`repro.hw.make_paper_testbed` — the paper's hardware (§4.1).
+* :class:`repro.core.Ros2System` / :class:`repro.core.Ros2Config` — the
+  assembled ROS2 deployment (Fig. 2): engine, control plane, offloaded
+  client, tenancy.
+* :mod:`repro.workload` — the FIO-equivalent driver and LLM phase models.
+* :mod:`repro.bench` — one builder per paper figure plus the calibration
+  bands that assert paper-vs-measured shape.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core import Ros2Config, Ros2System
+from repro.sim import Environment
+
+__version__ = "0.1.0"
+
+__all__ = ["Environment", "Ros2Config", "Ros2System", "__version__"]

@@ -1,0 +1,36 @@
+"""Benchmark harness: experiment builders, sweeps, and report rendering.
+
+* :mod:`repro.bench.runner` — one builder per paper experiment (local FIO,
+  remote SPDK, end-to-end DFS/ROS2) plus sweep drivers.  Every cell of
+  every figure builds a fresh simulated testbed, so cells are independent
+  and reproducible.
+* :mod:`repro.bench.report` — ASCII tables, heatmaps and CSV output that
+  mirror how the paper presents each figure.
+* :mod:`repro.bench.calibration` — the paper's reported numbers/bands and
+  shape checks (who wins, by what factor, where crossovers sit), used by
+  the benches to print paper-vs-measured and by the test suite to guard
+  against calibration drift.
+"""
+
+from repro.bench.calibration import PAPER_BANDS, ShapeCheck, check_band
+from repro.bench.report import Table, format_heatmap, format_rate, write_csv
+from repro.bench.runner import (
+    run_fig3_cell,
+    run_fig4_cell,
+    run_fig5_cell,
+    run_ros2_fio,
+)
+
+__all__ = [
+    "PAPER_BANDS",
+    "ShapeCheck",
+    "Table",
+    "check_band",
+    "format_heatmap",
+    "format_rate",
+    "run_fig3_cell",
+    "run_fig4_cell",
+    "run_fig5_cell",
+    "run_ros2_fio",
+    "write_csv",
+]

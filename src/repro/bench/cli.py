@@ -1,0 +1,114 @@
+"""Command-line runner for individual experiment cells.
+
+Lets a user poke any point of the paper's configuration space without
+writing code::
+
+    python -m repro.bench.cli fig3 --rw read --bs 1m --jobs 4 --ssds 4
+    python -m repro.bench.cli fig4 --provider ucx+rc --bs 4k --client-cores 4 --server-cores 4
+    python -m repro.bench.cli fig5 --transport rdma --client dpu --rw randread --bs 4k --jobs 16
+    python -m repro.bench.cli providers
+
+Sizes accept ``4k``/``1m`` suffixes.  Output is one line per run in the
+paper's units (GiB/s for >=64 KiB blocks, K IOPS otherwise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bench.runner import run_fig3_cell, run_fig4_cell, run_fig5_cell
+from repro.net.fabric import list_providers
+from repro.workload.fio import FioResult
+
+__all__ = ["main", "parse_size"]
+
+
+def parse_size(text: str) -> int:
+    """Parse ``4096``, ``4k``, ``1m``, ``2g`` into bytes."""
+    text = text.strip().lower()
+    mult = 1
+    if text.endswith(("k", "m", "g")):
+        mult = {"k": 1024, "m": 1024**2, "g": 1024**3}[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+
+
+def _report(result: FioResult) -> str:
+    if result.spec.bs >= 64 * 1024:
+        return f"{result.bandwidth_gib:.2f} GiB/s ({result.total_ios} IOs)"
+    return f"{result.kiops:.1f} K IOPS ({result.total_ios} IOs)"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli",
+        description="Run one cell of the paper's evaluation space.",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    p3 = sub.add_parser("fig3", help="local FIO / io_uring baseline")
+    p3.add_argument("--rw", default="read",
+                    choices=["read", "write", "randread", "randwrite"])
+    p3.add_argument("--bs", type=parse_size, default=1024**2)
+    p3.add_argument("--jobs", type=int, default=1)
+    p3.add_argument("--ssds", type=int, default=1, choices=[1, 2, 3, 4])
+    p3.add_argument("--runtime", type=float, default=0.03)
+
+    p4 = sub.add_parser("fig4", help="remote SPDK NVMe-oF")
+    p4.add_argument("--provider", default="ucx+rc", choices=list(list_providers()))
+    p4.add_argument("--rw", default="randread",
+                    choices=["read", "write", "randread", "randwrite"])
+    p4.add_argument("--bs", type=parse_size, default=4096)
+    p4.add_argument("--client-cores", type=int, default=4)
+    p4.add_argument("--server-cores", type=int, default=4)
+    p4.add_argument("--runtime", type=float, default=0.02)
+
+    p5 = sub.add_parser("fig5", help="end-to-end DFS over ROS2")
+    p5.add_argument("--transport", default="rdma")
+    p5.add_argument("--client", default="host", choices=["host", "dpu"])
+    p5.add_argument("--rw", default="read",
+                    choices=["read", "write", "randread", "randwrite"])
+    p5.add_argument("--bs", type=parse_size, default=1024**2)
+    p5.add_argument("--jobs", type=int, default=8)
+    p5.add_argument("--ssds", type=int, default=1, choices=[1, 2, 3, 4])
+    p5.add_argument("--runtime", type=float, default=None)
+
+    sub.add_parser("providers", help="list fabric providers")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "providers":
+        for name in list_providers():
+            print(name)
+        return 0
+
+    if args.experiment == "fig3":
+        result = run_fig3_cell(args.rw, args.bs, args.jobs, n_ssds=args.ssds,
+                               runtime=args.runtime)
+        label = f"fig3 {args.rw} bs={args.bs} jobs={args.jobs} ssds={args.ssds}"
+    elif args.experiment == "fig4":
+        result = run_fig4_cell(args.provider, args.rw, args.bs,
+                               args.client_cores, args.server_cores,
+                               runtime=args.runtime)
+        label = (f"fig4 {args.provider} {args.rw} bs={args.bs} "
+                 f"c={args.client_cores} s={args.server_cores}")
+    else:
+        result = run_fig5_cell(args.transport, args.client, args.rw, args.bs,
+                               args.jobs, n_ssds=args.ssds, runtime=args.runtime)
+        label = (f"fig5 {args.transport}/{args.client} {args.rw} bs={args.bs} "
+                 f"jobs={args.jobs} ssds={args.ssds}")
+
+    print(f"{label}: {_report(result)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""Experiment builders: one function per paper-figure cell.
+
+Each call constructs a *fresh* simulated testbed, runs the FIO spec, and
+returns the measured :class:`~repro.workload.fio.FioResult` — cells of a
+sweep are completely independent, like separate runs on the physical
+testbed.
+
+* :func:`run_fig3_cell` — local FIO / io_uring device baselines (Fig. 3).
+* :func:`run_fig4_cell` — remote SPDK NVMe-oF, TCP vs RDMA, pinned core
+  counts on both ends (Fig. 4).
+* :func:`run_fig5_cell` — end-to-end ROS2/DFS, host vs DPU client (Fig. 5).
+* :func:`run_ros2_fio` — the generic ROS2 runner the Fig. 5 cells and the
+  ablation benches share (system bootstrap, file creation, pre-fill for
+  reads, FIO drive).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import Ros2Config, Ros2System
+from repro.hw.platform import make_paper_testbed
+from repro.hw.specs import MIB
+from repro.net import Fabric
+from repro.sim import Environment
+from repro.storage import BlockDevice, IoUringEngine, NvmfInitiator, NvmfTarget
+from repro.workload.fio import FioJobSpec, FioResult, run_fio
+
+__all__ = [
+    "run_fig3_cell",
+    "run_fig4_cell",
+    "run_fig5_cell",
+    "run_ros2_fio",
+    "default_iodepth",
+]
+
+
+def default_iodepth(bs: int) -> int:
+    """The queue depths the paper's FIO configurations imply: deep queues
+    for small blocks (IOPS tests), shallow for streaming."""
+    return 16 if bs < 64 * 1024 else 8
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — local io_uring
+# ---------------------------------------------------------------------------
+
+def run_fig3_cell(
+    rw: str,
+    bs: int,
+    numjobs: int,
+    n_ssds: int = 1,
+    iodepth: Optional[int] = None,
+    runtime: float = 0.03,
+) -> FioResult:
+    """One point of Fig. 3: local FIO with the IO_URING engine."""
+    env = Environment()
+    top = make_paper_testbed(env, client="host", n_ssds=n_ssds)
+    engine = IoUringEngine(top.server, BlockDevice(top.server.nvme))
+    spec = FioJobSpec(
+        rw=rw, bs=bs, numjobs=numjobs,
+        iodepth=iodepth or default_iodepth(bs),
+        runtime=runtime, ramp_time=runtime / 4,
+        size=512 * MIB,
+    )
+    return run_fio(env, engine, spec)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — remote SPDK NVMe-oF
+# ---------------------------------------------------------------------------
+
+class _MultiQpAdapter:
+    """SPDK-style one-qpair-per-core: contexts round-robin over initiators."""
+
+    def __init__(self, initiators) -> None:
+        self.initiators = list(initiators)
+        self._next = 0
+        self._owner = {}
+
+    def new_context(self, name=None):
+        init = self.initiators[self._next % len(self.initiators)]
+        self._next += 1
+        ctx = init.new_context(name)
+        self._owner[id(ctx)] = init
+        return ctx
+
+    def submit(self, ctx, offset, nbytes, is_write):
+        return self._owner[id(ctx)].submit(ctx, offset, nbytes, is_write)
+
+
+def run_fig4_cell(
+    provider: str,
+    rw: str,
+    bs: int,
+    client_cores: int,
+    server_cores: int,
+    n_ssds: int = 1,
+    iodepth: int = 32,
+    runtime: float = 0.03,
+) -> FioResult:
+    """One heatmap cell of Fig. 4: remote SPDK, pinned core counts.
+
+    One NVMe-oF qpair (channel + initiator) per client core, one FIO job
+    per core, ``iodepth`` commands in flight per qpair — the standard
+    ``spdk_nvme_perf`` shape.
+    """
+    env = Environment()
+    top = make_paper_testbed(
+        env, client="host", n_ssds=n_ssds,
+        client_cores=client_cores, server_cores=server_cores,
+    )
+    fabric = Fabric(env)
+    device = BlockDevice(top.server.nvme)
+    target = NvmfTarget(top.server, device)
+    initiators = []
+    for _ in range(client_cores):
+        ch = fabric.connect(top.client, top.server, provider)
+        target.serve(ch)
+        initiators.append(NvmfInitiator(top.client, ch).start())
+    adapter = _MultiQpAdapter(initiators)
+    spec = FioJobSpec(
+        rw=rw, bs=bs, numjobs=client_cores, iodepth=iodepth,
+        runtime=runtime, ramp_time=runtime / 4, size=512 * MIB,
+    )
+    return run_fio(env, adapter, spec)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — end-to-end ROS2 / DFS
+# ---------------------------------------------------------------------------
+
+class _MultiSessionAdapter:
+    """One ROS2 session (own channel/PD/QP/TCP connection) per FIO job.
+
+    FIO's DFS engine forks one process per job, each with its own DAOS
+    client context and hence its own fabric connection — which is what
+    lets host TCP aggregate past the single-stream ceiling on 4 SSDs.
+    """
+
+    def __init__(self, ports_and_fhs) -> None:
+        self._ports = list(ports_and_fhs)  # [(port, fh), ...]
+        self._next = 0
+        self._owner = {}
+
+    def new_context(self, name=None):
+        port, fh = self._ports[self._next % len(self._ports)]
+        self._next += 1
+        ctx = port.new_context(name)
+        self._owner[id(ctx)] = (port, fh)
+        return ctx
+
+    def submit(self, ctx, offset, nbytes, is_write):
+        port, fh = self._owner[id(ctx)]
+        if is_write:
+            return port.write(ctx, fh, offset, nbytes=nbytes)
+        return port.read(ctx, fh, offset, nbytes)
+
+
+def run_ros2_fio(
+    system: Ros2System,
+    spec: FioJobSpec,
+    path: str = "/bench/fio.dat",
+    prefill: Optional[bool] = None,
+    tenant_policy: Optional[dict] = None,
+    sessions_per_job: bool = True,
+) -> FioResult:
+    """Bootstrap ``system``, create the test file, pre-fill it for read
+    workloads, and drive ``spec`` through ROS2 data ports.
+
+    ``sessions_per_job=True`` mirrors FIO's one-process-per-job DFS
+    engine: every job gets its own session (channel, PD/QP or TCP
+    connection); with False all jobs share one session."""
+    env = system.env
+    token = system.register_tenant("fio", **(tenant_policy or {}))
+    if prefill is None:
+        prefill = not spec.is_write
+    span = spec.numjobs * spec.size
+    n_sessions = spec.numjobs if sessions_per_job else 1
+
+    def setup(env):
+        yield from system.start()
+        first = yield from system.open_session(token)
+        parent = path.rsplit("/", 1)[0]
+        if parent:
+            yield from first.mkdir(parent)
+        fh0 = yield from first.create(path)
+        ports = [(first.data_port(), fh0)]
+        for _ in range(n_sessions - 1):
+            s = yield from system.open_session(token)
+            fh = yield from s.open(path)
+            ports.append((s.data_port(), fh))
+        if prefill:
+            # Lay the file out in whole chunks so reads hit real extents,
+            # 32 writers wide (setup time, excluded from measurement).
+            port0 = ports[0][0]
+            ctx_pool = [port0.new_context(f"prefill{i}") for i in range(32)]
+            chunk = MIB
+            offsets = list(range(0, span, chunk))
+
+            def writer(env, ctx, start_idx):
+                for i in range(start_idx, len(offsets), len(ctx_pool)):
+                    yield from port0.write(ctx, fh0, offsets[i], nbytes=chunk)
+
+            writers = [
+                env.process(writer(env, ctx, i)) for i, ctx in enumerate(ctx_pool)
+            ]
+            yield env.all_of(writers)
+        return ports
+
+    p = env.process(setup(env))
+    env.run(until=p)
+    ports = p.value
+    adapter = _MultiSessionAdapter(ports)
+    return run_fio(env, adapter, spec)
+
+
+def run_fig5_cell(
+    provider: str,
+    client: str,
+    rw: str,
+    bs: int,
+    numjobs: int,
+    n_ssds: int = 1,
+    iodepth: Optional[int] = None,
+    runtime: Optional[float] = None,
+) -> FioResult:
+    """One point of Fig. 5: FIO/DFS end-to-end on the assembled ROS2 stack.
+
+    Large-block runs need a longer measured window: under the DPU's deep
+    RX queues, per-I/O latency reaches milliseconds and a too-short window
+    under-reports steady-state throughput.
+    """
+    env = Environment()
+    system = Ros2System(env, Ros2Config(
+        transport=provider, client=client, n_ssds=n_ssds, data_mode=False,
+    ))
+    if runtime is None:
+        runtime = 0.15 if bs >= MIB else 0.03
+    size = 64 * MIB if bs >= MIB else 48 * MIB
+    spec = FioJobSpec(
+        rw=rw, bs=bs, numjobs=numjobs,
+        iodepth=iodepth or default_iodepth(bs),
+        runtime=runtime, ramp_time=runtime / 3, size=size,
+    )
+    return run_ros2_fio(system, spec)

@@ -1,0 +1,84 @@
+"""The ROS2 data plane: fabric binding and DPU DRAM staging.
+
+"All payloads currently terminate in DPU DRAM; the DPU notifies
+completion to the caller" (§3.2).  The data plane therefore stages every
+in-flight payload in the client node's DRAM pool — 30 GiB on BlueField-3
+— giving natural back-pressure when tenants overrun the buffer budget,
+and tracks per-provider transfer statistics for the reports.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hw.dram import Allocation, DramPool
+from repro.hw.platform import ComputeNode
+from repro.net.fabric import ProviderInfo, resolve_provider
+from repro.sim.core import Environment, Event
+from repro.sim.monitor import Gauge, RateMeter
+
+__all__ = ["DataPlane"]
+
+
+class DataPlane:
+    """Buffer staging + accounting for the offloaded client's bulk I/O."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        provider: str,
+        staging_budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.node = node
+        self.env: Environment = node.env
+        self.provider: ProviderInfo = resolve_provider(provider)
+        #: Staging budget: by default the whole node DRAM is eligible.
+        #: A smaller budget (buffer pool carved out of node DRAM, the rest
+        #: belonging to other services/tenants) is enforced as an
+        #: *aggregate* in-flight cap, giving real back-pressure.
+        self.budget = int(staging_budget_bytes or node.dram.capacity_bytes)
+        if self.budget > node.dram.capacity_bytes:
+            raise ValueError(
+                f"staging budget {self.budget} exceeds node DRAM "
+                f"{node.dram.capacity_bytes}"
+            )
+        self._pool: DramPool = DramPool(
+            self.env, self.budget, name=f"{node.name}.dp.staging"
+        )
+        self.reads = RateMeter(self.env, f"{node.name}.dp.reads")
+        self.writes = RateMeter(self.env, f"{node.name}.dp.writes")
+        self.staged = Gauge(self.env, f"{node.name}.dp.staged")
+
+    @property
+    def is_rdma(self) -> bool:
+        """Whether the bound provider is a verbs family."""
+        return self.provider.family == "rdma"
+
+    def stage(self, nbytes: int) -> Generator[Event, None, Allocation]:
+        """Reserve DPU DRAM for one in-flight payload (``yield from``).
+
+        Blocks when the staging budget is exhausted — the back-pressure a
+        30 GiB DPU applies to greedy tenants.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"staging size must be positive, got {nbytes}")
+        if nbytes > self.budget:
+            raise MemoryError(
+                f"payload of {nbytes} bytes exceeds staging budget {self.budget}"
+            )
+        alloc = yield from self._pool.alloc(nbytes)
+        self.staged.set(self._pool.used_bytes)
+        return alloc
+
+    def release(self, alloc: Allocation) -> None:
+        """Return a staging buffer."""
+        alloc.free()
+        self.staged.set(self._pool.used_bytes)
+
+    def record_read(self, nbytes: int) -> None:
+        """Account one completed read payload."""
+        self.reads.record(nbytes)
+
+    def record_write(self, nbytes: int) -> None:
+        """Account one completed write payload."""
+        self.writes.record(nbytes)

@@ -1,0 +1,102 @@
+"""Per-tenant queues: start-time fair queueing on the DPU data plane.
+
+The discussion (§5) credits the offload with "multi-tenant control
+(dedicated QPs/PDs, per-tenant queues and rate limits)" and names
+"multi-tenant scheduling and fairness on the DPU" as follow-up work.
+Token buckets (:mod:`repro.core.tenant`) implement the *rate-limit* half;
+this module implements the *queues* half: a work-conserving weighted fair
+scheduler in front of the shared data-plane capacity.
+
+The algorithm is textbook SFQ (start-time fair queueing):
+
+* each request gets a start tag ``S = max(V, F_tenant)`` and a finish tag
+  ``F = S + size / weight``;
+* the dispatcher serves pending requests in increasing finish-tag order
+  at the configured aggregate rate;
+* virtual time ``V`` tracks the start tag of the request in service, so
+  an idle tenant's unused share redistributes instantly (work
+  conservation) and a returning tenant cannot claim back-credit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Generator
+
+from repro.sim.core import Environment, Event
+
+__all__ = ["QosScheduler"]
+
+
+class QosScheduler:
+    """Weighted fair sharing of one data-plane capacity across tenants."""
+
+    def __init__(self, env: Environment, capacity_bytes_per_sec: float) -> None:
+        if capacity_bytes_per_sec <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_bytes_per_sec}"
+            )
+        self.env = env
+        self.capacity = float(capacity_bytes_per_sec)
+        self._weights: Dict[str, float] = {}
+        self._finish: Dict[str, float] = {}  # per-tenant last finish tag
+        self._vtime = 0.0
+        self._pending: list = []  # heap of (finish_tag, seq, nbytes, event)
+        self._seq = itertools.count()
+        self._dispatcher_running = False
+        self.served_bytes: Dict[str, int] = {}
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        """Configure a tenant's share weight (default 1.0)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._weights[tenant] = float(weight)
+
+    def weight_of(self, tenant: str) -> float:
+        """The tenant's configured weight (1.0 unless set)."""
+        return self._weights.get(tenant, 1.0)
+
+    def submit(self, tenant: str, nbytes: int) -> Generator[Event, None, None]:
+        """Queue one payload; completes when its share has been served."""
+        if nbytes <= 0:
+            raise ValueError(f"payload must be positive, got {nbytes}")
+        start = max(self._vtime, self._finish.get(tenant, 0.0))
+        finish = start + nbytes / self.weight_of(tenant)
+        self._finish[tenant] = finish
+        done = self.env.event()
+        heapq.heappush(
+            self._pending, (finish, next(self._seq), tenant, nbytes, done)
+        )
+        if not self._dispatcher_running:
+            self._dispatcher_running = True
+            self.env.process(self._dispatch(), name="qos-dispatch")
+        yield done
+
+    def _dispatch(self):
+        while self._pending:
+            finish, _seq, tenant, nbytes, done = heapq.heappop(self._pending)
+            # Virtual time advances to the in-service request's start tag.
+            self._vtime = max(self._vtime, finish - nbytes / self.weight_of(tenant))
+            yield self.env.timeout(nbytes / self.capacity)
+            self.served_bytes[tenant] = self.served_bytes.get(tenant, 0) + nbytes
+            done.succeed()
+        self._dispatcher_running = False
+
+    # -- reporting ---------------------------------------------------------
+    def shares(self) -> Dict[str, float]:
+        """Fraction of served bytes per tenant."""
+        total = sum(self.served_bytes.values())
+        if not total:
+            return {}
+        return {t: b / total for t, b in self.served_bytes.items()}
+
+    @staticmethod
+    def jain_index(values) -> float:
+        """Jain's fairness index of a set of allocations (1.0 = perfectly fair)."""
+        values = [v for v in values if v >= 0]
+        if not values or sum(values) == 0:
+            return 1.0
+        s1 = sum(values)
+        s2 = sum(v * v for v in values)
+        return (s1 * s1) / (len(values) * s2)

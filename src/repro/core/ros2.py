@@ -1,0 +1,129 @@
+"""ROS2 system assembly: one call builds any evaluated configuration.
+
+:class:`Ros2Config` names the axes the paper sweeps — transport (TCP vs
+RDMA provider), client placement (host vs BlueField-3), SSD count — plus
+the reproduction's functional knobs (data mode, encryption, tenancy).
+:class:`Ros2System` wires the testbed, the unmodified DAOS engine, the
+control plane, and the offloaded client service together (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.core.control_plane import GrpcChannel
+from repro.core.offload import Ros2ClientService, Ros2Session
+from repro.daos.client import DaosClient
+from repro.daos.dfs import DfsNamespace
+from repro.daos.engine import DaosEngine
+from repro.daos.types import ContainerId, PoolId
+from repro.hw.platform import ClusterTopology, make_paper_testbed
+from repro.net.fabric import Fabric, FabricChannel, ProviderInfo, resolve_provider
+from repro.sim.core import Environment, Event
+
+__all__ = ["Ros2Config", "Ros2System"]
+
+
+@dataclass
+class Ros2Config:
+    """One point in the paper's configuration space."""
+
+    #: Data-plane provider: "rdma"/"tcp" aliases or a full provider name
+    #: (ucx+rc, ucx+dc_x, ofi+verbs;ofi_rxm, ucx+tcp, ofi+tcp;ofi_rxm).
+    transport: str = "rdma"
+    #: Where the DFS client runs: "host" (EPYC) or "dpu" (BlueField-3).
+    client: str = "host"
+    #: NVMe SSDs behind the engine (the paper uses 1 and 4).
+    n_ssds: int = 1
+    #: Engine targets (default: 8 per SSD).
+    n_targets: Optional[int] = None
+    #: Carry real bytes end-to-end (tests/examples) or virtual payloads
+    #: (performance benches).
+    data_mode: bool = False
+
+
+class Ros2System:
+    """The assembled ROS2 deployment (paper Fig. 2)."""
+
+    def __init__(self, env: Environment, config: Optional[Ros2Config] = None) -> None:
+        self.env = env
+        self.config = config or Ros2Config()
+        self.provider: ProviderInfo = resolve_provider(self.config.transport)
+        self.topology: ClusterTopology = make_paper_testbed(
+            env, client=self.config.client, n_ssds=self.config.n_ssds
+        )
+        self.fabric = Fabric(env)
+        self.engine = DaosEngine(
+            self.topology.server,
+            n_targets=self.config.n_targets,
+            data_mode=self.config.data_mode,
+        )
+        self.pool: PoolId = self.engine.create_pool()
+        self.container: Optional[ContainerId] = None
+        self.service = Ros2ClientService(self)
+        self._grpc: Optional[GrpcChannel] = None
+        self._started = False
+
+    # -- topology sugar ------------------------------------------------------------
+    @property
+    def client_node(self):
+        """The node the DFS client runs on (DPU in offload mode)."""
+        return self.topology.client
+
+    @property
+    def server_node(self):
+        """The storage server."""
+        return self.topology.server
+
+    @property
+    def launcher_node(self):
+        """The x86 host that launches jobs (== client node in host mode)."""
+        return self.topology.launcher
+
+    def new_data_channel(self) -> FabricChannel:
+        """A fresh data-plane channel (own PD/QP per session) served by the engine."""
+        ch = self.fabric.connect(self.client_node, self.server_node, self.provider.name)
+        self.engine.serve(ch)
+        return ch
+
+    # -- lifecycle -------------------------------------------------------------------
+    def start(self) -> Generator[Event, None, "Ros2System"]:
+        """Bootstrap (run as a process): create + format the shared DFS
+        container, then bring up the control plane."""
+        if self._started:
+            return self
+        bootstrap_channel = self.new_data_channel()
+        daos = DaosClient(
+            self.client_node, bootstrap_channel, data_mode=self.config.data_mode
+        )
+        ctx = daos.new_context("bootstrap")
+        pool_handle = yield from daos.connect_pool(ctx, self.pool)
+        cont = yield from pool_handle.create_container(ctx)
+        self.container = cont.cont
+        ns = DfsNamespace(daos, cont)
+        yield from ns.format(ctx)
+
+        # Control plane: launcher <-> client-node service, always gRPC/TCP
+        # (loopback when the client runs on the launcher host itself).
+        self._grpc = GrpcChannel(self.launcher_node, self.client_node).start()
+        self._grpc.bind(self.service.grpc)
+        self._started = True
+        return self
+
+    def register_tenant(self, name: str, **policy) -> str:
+        """Admin-plane tenant registration; returns the bearer token.
+
+        ``policy`` forwards to :meth:`repro.core.tenant.TenantManager.register`
+        (ops_per_sec, bytes_per_sec, rkey_ttl, crypto_key, ...).
+        """
+        return self.service.tenants.register(name, **policy).token
+
+    def open_session(self, token: str) -> Generator[Event, None, Ros2Session]:
+        """Launcher-side session open (gRPC OpenSession + mount)."""
+        if not self._started:
+            raise RuntimeError("system not started; run start() first")
+        response = yield from self._grpc.unary(
+            "ros2.Control", "OpenSession", {}, metadata={"authorization": token}
+        )
+        return Ros2Session(self._grpc, self.service, response["session_id"], token)

@@ -1,0 +1,143 @@
+"""System-wide telemetry: one snapshot of every component's utilization.
+
+Operating a storage system means knowing where the time went.  This
+module walks an assembled :class:`~repro.core.ros2.Ros2System` and
+produces a structured report — per-node CPU and lock utilizations, NIC
+port throughput, NVMe device busy fractions, engine xstream load, data
+plane counters, tenancy stats — the same numbers the benches used when
+diagnosing bottlenecks, packaged as a public API (and a printable table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bench.report import Table
+
+__all__ = ["SystemReport", "snapshot"]
+
+GIB = 2**30
+
+
+@dataclass
+class NodeReport:
+    """Utilization of one node's compute resources."""
+
+    name: str
+    cpu_utilization: float
+    tcp_rx_utilization: float
+    lock_utilization: Dict[str, float]
+    dram_used_bytes: float
+    port_tx_bytes: int
+    port_rx_bytes: int
+
+
+@dataclass
+class DeviceReport:
+    """One NVMe device's load."""
+
+    index: int
+    utilization: float
+    read_bytes: int
+    write_bytes: int
+
+
+@dataclass
+class SystemReport:
+    """A full snapshot at one simulated instant."""
+
+    now: float
+    nodes: List[NodeReport] = field(default_factory=list)
+    devices: List[DeviceReport] = field(default_factory=list)
+    xstream_utilization: float = 0.0
+    data_plane_read_bytes: int = 0
+    data_plane_write_bytes: int = 0
+    staged_peak_bytes: float = 0.0
+    tenant_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def busiest_component(self) -> str:
+        """Name of the most utilized station (a bottleneck hint)."""
+        candidates = []
+        for n in self.nodes:
+            candidates.append((n.cpu_utilization, f"{n.name}.cpu"))
+            candidates.append((n.tcp_rx_utilization, f"{n.name}.tcp_rx"))
+            for lock, u in n.lock_utilization.items():
+                candidates.append((u, f"{n.name}.lock.{lock}"))
+        for d in self.devices:
+            candidates.append((d.utilization, f"nvme{d.index}"))
+        candidates.append((self.xstream_utilization, "engine.xstreams"))
+        if not candidates:
+            return "idle"
+        return max(candidates)[1]
+
+    def render(self) -> str:
+        """A printable multi-table report."""
+        nodes = Table(f"Nodes @ t={self.now:.3f}s",
+                      ["cpu", "tcp_rx", "hottest lock", "tx GiB", "rx GiB"],
+                      row_header="node")
+        for n in self.nodes:
+            hottest = max(n.lock_utilization.items(), key=lambda kv: kv[1],
+                          default=("-", 0.0))
+            nodes.add_row(n.name, [
+                f"{n.cpu_utilization * 100:.0f}%",
+                f"{n.tcp_rx_utilization * 100:.0f}%",
+                f"{hottest[0]} {hottest[1] * 100:.0f}%",
+                f"{n.port_tx_bytes / GIB:.2f}",
+                f"{n.port_rx_bytes / GIB:.2f}",
+            ])
+        devs = Table("NVMe devices", ["busy", "read GiB", "written GiB"],
+                     row_header="device")
+        for d in self.devices:
+            devs.add_row(f"nvme{d.index}", [
+                f"{d.utilization * 100:.0f}%",
+                f"{d.read_bytes / GIB:.2f}",
+                f"{d.write_bytes / GIB:.2f}",
+            ])
+        tail = (
+            f"engine xstreams: {self.xstream_utilization * 100:.0f}% | "
+            f"data plane: {self.data_plane_read_bytes / GIB:.2f} GiB read, "
+            f"{self.data_plane_write_bytes / GIB:.2f} GiB written | "
+            f"staging peak: {self.staged_peak_bytes / GIB:.3f} GiB\n"
+            f"bottleneck hint: {self.busiest_component()}"
+        )
+        return nodes.render() + "\n\n" + devs.render() + "\n\n" + tail
+
+
+def snapshot(system) -> SystemReport:
+    """Collect a :class:`SystemReport` from a running Ros2System."""
+    env = system.env
+    report = SystemReport(now=env.now)
+    seen = set()
+    for node in [system.client_node, system.server_node, system.launcher_node]:
+        if node.name in seen:
+            continue
+        seen.add(node.name)
+        report.nodes.append(NodeReport(
+            name=node.name,
+            cpu_utilization=node.cpu.utilization(),
+            tcp_rx_utilization=node.tcp_rx_cpu.utilization(),
+            lock_utilization={
+                name: sec.utilization() for name, sec in node._locks.items()
+            },
+            dram_used_bytes=node.dram.used_bytes,
+            port_tx_bytes=node.port.bytes_sent(),
+            port_rx_bytes=node.port.bytes_received(),
+        ))
+    for dev in system.server_node.nvme.devices:
+        report.devices.append(DeviceReport(
+            index=dev.index,
+            utilization=dev.utilization(),
+            read_bytes=dev.reads.bytes,
+            write_bytes=dev.writes.bytes,
+        ))
+    report.xstream_utilization = system.engine.xstream_utilization()
+    dp = system.service.data_plane
+    report.data_plane_read_bytes = dp.reads.bytes
+    report.data_plane_write_bytes = dp.writes.bytes
+    report.staged_peak_bytes = dp.staged.peak
+    report.tenant_stats = {
+        name: dict(system.service.tenants._by_name[name].stats)
+        for name in system.service.tenants.tenants()
+    }
+    return report

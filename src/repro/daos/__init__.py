@@ -1,0 +1,61 @@
+"""A DAOS-like distributed object store (the paper's storage substrate).
+
+DAOS (§2.4) is the system ROS2 offloads: a transactional, versioned object
+store over SCM (PMDK) and NVMe (SPDK), fronted by a Mercury/CaRT RPC stack
+over UCX/libfabric, with a POSIX namespace (DFS) mapped onto objects.
+This package reimplements that layering functionally:
+
+* :mod:`repro.daos.types` — identifiers, errors, object classes.
+* :mod:`repro.daos.checksum` — end-to-end checksums (crc32c-style).
+* :mod:`repro.daos.object` — the versioned dkey/akey extent store.
+* :mod:`repro.daos.vos` — per-target Versioned Object Store binding
+  records to SCM/NVMe media with epoch visibility.
+* :mod:`repro.daos.rpc` — CaRT-like RPC (request/response with tags,
+  generator handlers, bulk descriptors).
+* :mod:`repro.daos.engine` — the I/O engine: targets, xstreams, pool and
+  container service, object I/O with transport-aware bulk transfer.
+* :mod:`repro.daos.client` — libdaos: pool/container handles, object
+  update/fetch, transactions, event-queue progress costs.
+* :mod:`repro.daos.dfs` — the POSIX file/directory layer (libdfs).
+"""
+
+from repro.daos.checksum import Checksummer, ChecksumError
+from repro.daos.client import DaosClient, ObjectHandle
+from repro.daos.dcache import CachedDfsFile, ClientCache
+from repro.daos.dfs import DfsFile, DfsNamespace
+from repro.daos.engine import DaosEngine
+from repro.daos.object import ExtentStore, VersionedObject
+from repro.daos.rpc import RpcClient, RpcError, RpcServer
+from repro.daos.types import (
+    ContainerId,
+    DaosError,
+    NoSuchObject,
+    ObjectClass,
+    ObjectId,
+    PoolId,
+)
+from repro.daos.vos import VersionedObjectStore
+
+__all__ = [
+    "CachedDfsFile",
+    "Checksummer",
+    "ChecksumError",
+    "ClientCache",
+    "ContainerId",
+    "DaosClient",
+    "DaosEngine",
+    "DaosError",
+    "DfsFile",
+    "DfsNamespace",
+    "ExtentStore",
+    "NoSuchObject",
+    "ObjectClass",
+    "ObjectHandle",
+    "ObjectId",
+    "PoolId",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "VersionedObject",
+    "VersionedObjectStore",
+]

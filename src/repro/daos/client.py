@@ -1,0 +1,373 @@
+"""libdaos: the client library (pool/container handles, object I/O, TX).
+
+Cost model (x86 baseline, scaled by the client node's factors — this is
+the code that moves to the BlueField-3 in ROS2):
+
+* ``submit_cpu_per_op`` / ``complete_cpu_per_op`` on the calling job
+  thread — DFS translation, RPC marshalling, completion callbacks.
+* ``serial_per_op`` in the node-wide ``daos_progress`` section — the
+  client service's single event-queue progress context.  Invisible on the
+  EPYC host; on the DPU (lock factor 2.5) it is what caps RDMA small-I/O
+  at ~400 K IOPS, the 20-40 % gap of Fig. 5d.
+* Transport costs ride the RPC/bulk machinery underneath.
+
+Payloads above the engine's inline threshold use a registered bulk window;
+in performance mode one pre-registered window is reused (as a real DAOS
+client pre-registers its buffer cache), in functional mode a per-op window
+carries the actual bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.daos.engine import INLINE_THRESHOLD
+from repro.daos.rpc import RpcClient
+from repro.daos.types import ContainerId, DaosError, ObjectClass, ObjectId, PoolId
+from repro.hw.platform import ComputeNode
+from repro.hw.specs import DAOS_PATH, StoragePathCosts
+from repro.net.fabric import FabricChannel, RemoteRegion
+from repro.sim.core import Environment, Event
+from repro.storage.context import JobThread
+
+__all__ = ["DaosClient", "PoolHandle", "ContainerHandle", "ObjectHandle", "Transaction"]
+
+
+class DaosClient:
+    """One client context connected to an engine over one channel."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        channel: FabricChannel,
+        costs: StoragePathCosts = DAOS_PATH,
+        data_mode: bool = False,
+        bulk_window_bytes: int = 16 * 1024 * 1024,
+    ) -> None:
+        self.node = node
+        self.env: Environment = node.env
+        self.channel = channel
+        self.costs = costs
+        self.data_mode = bool(data_mode)
+        self.rpc = RpcClient(node, channel).start()
+        self._progress = node.lock("daos_progress")
+        self._threads = 0
+        self._window: Optional[RemoteRegion] = None
+        if not data_mode:
+            self._window = channel.register(node.name, bulk_window_bytes)
+
+    # -- contexts -----------------------------------------------------------------
+    def new_context(self, name: Optional[str] = None) -> JobThread:
+        """One application job thread issuing I/O through this client."""
+        self._threads += 1
+        return JobThread(
+            self.env,
+            name or f"{self.node.name}.daos.job{self._threads}",
+            factor=self.node.spec.cycle_factor,
+        )
+
+    # -- cost plumbing -------------------------------------------------------------
+    def _pre(self, ctx: JobThread):
+        yield ctx.run(self.costs.submit_cpu_per_op)
+        if self.costs.serial_per_op:
+            yield self._progress.enter(self.costs.serial_per_op)
+
+    def _post(self, ctx: JobThread):
+        yield ctx.run(self.costs.complete_cpu_per_op)
+
+    def call(
+        self, ctx: JobThread, opcode: str, args: Dict[str, Any]
+    ) -> Generator[Event, None, Any]:
+        """One costed RPC from ``ctx`` (control-plane-ish operations)."""
+        yield from self._pre(ctx)
+        result = yield from self.rpc.call(opcode, args)
+        yield from self._post(ctx)
+        return result
+
+    # -- handles ---------------------------------------------------------------------
+    def connect_pool(
+        self, ctx: JobThread, pool: PoolId
+    ) -> Generator[Event, None, "PoolHandle"]:
+        """Connect to a pool; returns its handle."""
+        result = yield from self.call(ctx, "pool_connect", {"pool": pool})
+        return PoolHandle(self, pool, result["n_targets"])
+
+
+@dataclass
+class PoolHandle:
+    """A connected pool."""
+
+    client: DaosClient
+    pool: PoolId
+    n_targets: int
+
+    def create_container(
+        self, ctx: JobThread
+    ) -> Generator[Event, None, "ContainerHandle"]:
+        """Create and open a fresh container."""
+        result = yield from self.client.call(ctx, "cont_create", {"pool": self.pool})
+        handle = yield from self.open_container(ctx, result["cont"])
+        return handle
+
+    def open_container(
+        self, ctx: JobThread, cont: ContainerId
+    ) -> Generator[Event, None, "ContainerHandle"]:
+        """Open an existing container."""
+        result = yield from self.client.call(
+            ctx, "cont_open", {"pool": self.pool, "cont": cont}
+        )
+        return ContainerHandle(self.client, self.pool, cont, result["epoch"])
+
+
+class ContainerHandle:
+    """An open container: object handles, oid allocation, snapshots, TX."""
+
+    def __init__(
+        self, client: DaosClient, pool: PoolId, cont: ContainerId, epoch: int
+    ) -> None:
+        self.client = client
+        self.pool = pool
+        self.cont = cont
+        self.open_epoch = epoch
+
+    def alloc_oid(
+        self, ctx: JobThread, oclass: ObjectClass = ObjectClass.S1, count: int = 1
+    ) -> Generator[Event, None, List[ObjectId]]:
+        """Allocate ``count`` fresh object ids of ``oclass``."""
+        result = yield from self.client.call(
+            ctx, "oid_alloc", {"pool": self.pool, "count": count}
+        )
+        base = result["base"]
+        return [ObjectId.make(base + i, oclass) for i in range(count)]
+
+    def obj(self, oid: ObjectId) -> "ObjectHandle":
+        """Open an object handle (local operation)."""
+        return ObjectHandle(self, oid)
+
+    def query_epoch(self, ctx: JobThread) -> Generator[Event, None, int]:
+        """Highest committed epoch (snapshot point)."""
+        result = yield from self.client.call(
+            ctx, "cont_query", {"pool": self.pool, "cont": self.cont}
+        )
+        return result["epoch"]
+
+    def tx(self) -> "Transaction":
+        """Start staging a transaction."""
+        return Transaction(self)
+
+
+class ObjectHandle:
+    """Object I/O: array update/fetch, KV put/get, punch, enumeration."""
+
+    def __init__(self, cont: ContainerHandle, oid: ObjectId) -> None:
+        self.cont = cont
+        self.oid = oid
+        self.client = cont.client
+
+    def _base_args(self) -> Dict[str, Any]:
+        return {"pool": self.cont.pool, "cont": self.cont.cont, "oid": self.oid}
+
+    # -- array I/O -------------------------------------------------------------
+    def update(
+        self,
+        ctx: JobThread,
+        dkey: bytes,
+        akey: bytes,
+        offset: int,
+        nbytes: Optional[int] = None,
+        data: Optional[bytes] = None,
+        epoch: Optional[int] = None,
+    ) -> Generator[Event, None, int]:
+        """Write one extent; returns the commit epoch."""
+        if nbytes is None:
+            if data is None:
+                raise DaosError("update needs data or an explicit nbytes")
+            nbytes = len(data)
+        client = self.client
+        yield from client._pre(ctx)
+
+        args = self._base_args()
+        args.update(dkey=bytes(dkey), akey=bytes(akey), offset=offset, nbytes=nbytes)
+        if epoch is not None:
+            args["epoch"] = epoch
+
+        window = None
+        if nbytes > INLINE_THRESHOLD:
+            if client.data_mode:
+                buf = bytearray(nbytes)
+                if data is not None:
+                    buf[:] = data
+                window = client.channel.register(client.node.name, nbytes, buffer=buf)
+            else:
+                window = client._window
+            args["region"] = window
+        elif data is not None:
+            args["data"] = bytes(data)
+        elif client.data_mode:
+            args["data"] = bytes(nbytes)
+
+        # Inline payloads ride the request capsule on the wire.
+        req_nbytes = 220 + (nbytes if window is None else 0)
+        result = yield from client.rpc.call("obj_update", args, req_nbytes=req_nbytes)
+        yield from client._post(ctx)
+        if window is not None and client.data_mode:
+            client.channel.deregister(window)
+        return result["epoch"]
+
+    def fetch(
+        self,
+        ctx: JobThread,
+        dkey: bytes,
+        akey: bytes,
+        offset: int,
+        nbytes: int,
+        epoch: Optional[int] = None,
+    ) -> Generator[Event, None, Optional[bytes]]:
+        """Read a range at ``epoch`` (None = latest committed)."""
+        client = self.client
+        yield from client._pre(ctx)
+
+        args = self._base_args()
+        args.update(dkey=bytes(dkey), akey=bytes(akey), offset=offset, nbytes=nbytes)
+        if epoch is not None:
+            args["epoch"] = epoch
+
+        window = None
+        buf: Optional[bytearray] = None
+        if nbytes > INLINE_THRESHOLD:
+            if client.data_mode:
+                buf = bytearray(nbytes)
+                window = client.channel.register(client.node.name, nbytes, buffer=buf)
+            else:
+                window = client._window
+            args["region"] = window
+
+        result = yield from client.rpc.call("obj_fetch", args)
+        yield from client._post(ctx)
+        if window is not None and client.data_mode:
+            client.channel.deregister(window)
+            return bytes(buf)
+        return result.get("data")
+
+    def punch(
+        self, ctx: JobThread, dkey: bytes, akey: bytes, offset: int, nbytes: int
+    ) -> Generator[Event, None, int]:
+        """Punch a hole in an array akey."""
+        args = self._base_args()
+        args.update(dkey=bytes(dkey), akey=bytes(akey), offset=offset, nbytes=nbytes)
+        result = yield from self.client.call(ctx, "obj_punch", args)
+        return result["epoch"]
+
+    def punch_dkey(self, ctx: JobThread, dkey: bytes) -> Generator[Event, None, int]:
+        """Remove a whole dkey."""
+        args = self._base_args()
+        args["dkey"] = bytes(dkey)
+        result = yield from self.client.call(ctx, "obj_punch_dkey", args)
+        return result["epoch"]
+
+    # -- KV I/O ---------------------------------------------------------------
+    def kv_put(
+        self, ctx: JobThread, dkey: bytes, akey: bytes, value: Any
+    ) -> Generator[Event, None, int]:
+        """Store a single value."""
+        args = self._base_args()
+        args.update(dkey=bytes(dkey), akey=bytes(akey), value=value)
+        result = yield from self.client.call(ctx, "kv_put", args)
+        return result["epoch"]
+
+    def kv_get(
+        self, ctx: JobThread, dkey: bytes, akey: bytes, epoch: Optional[int] = None
+    ) -> Generator[Event, None, Any]:
+        """Read a single value at ``epoch``."""
+        args = self._base_args()
+        args.update(dkey=bytes(dkey), akey=bytes(akey))
+        if epoch is not None:
+            args["epoch"] = epoch
+        result = yield from self.client.call(ctx, "kv_get", args)
+        return result["value"]
+
+    # -- enumeration --------------------------------------------------------------
+    def list_dkeys(
+        self, ctx: JobThread, epoch: Optional[int] = None
+    ) -> Generator[Event, None, List[bytes]]:
+        """Visible dkeys across every shard."""
+        args = self._base_args()
+        if epoch is not None:
+            args["epoch"] = epoch
+        result = yield from self.client.call(ctx, "obj_list_dkeys", args)
+        return result["dkeys"]
+
+    def dkey_sizes(
+        self, ctx: JobThread, akey: bytes, epoch: Optional[int] = None
+    ) -> Generator[Event, None, Dict[bytes, int]]:
+        """Per-dkey array sizes (DFS file-size query)."""
+        args = self._base_args()
+        args["akey"] = bytes(akey)
+        if epoch is not None:
+            args["epoch"] = epoch
+        result = yield from self.client.call(ctx, "obj_sizes", args)
+        return result["sizes"]
+
+
+class Transaction:
+    """Client-side staged transaction committed atomically at one epoch."""
+
+    def __init__(self, cont: ContainerHandle) -> None:
+        self.cont = cont
+        self.ops: List[Dict[str, Any]] = []
+        self.committed_epoch: Optional[int] = None
+        self.aborted = False
+
+    def _check_open(self) -> None:
+        if self.committed_epoch is not None:
+            raise DaosError("transaction already committed")
+        if self.aborted:
+            raise DaosError("transaction aborted")
+
+    def update(
+        self, oid: ObjectId, dkey: bytes, akey: bytes, offset: int,
+        nbytes: Optional[int] = None, data: Optional[bytes] = None,
+    ) -> "Transaction":
+        """Stage an array write (inline payloads only)."""
+        self._check_open()
+        if nbytes is None:
+            if data is None:
+                raise DaosError("staged update needs data or nbytes")
+            nbytes = len(data)
+        self.ops.append({
+            "kind": "update", "oid": oid, "dkey": bytes(dkey), "akey": bytes(akey),
+            "offset": offset, "nbytes": nbytes,
+            "data": bytes(data) if data is not None else None,
+        })
+        return self
+
+    def kv_put(self, oid: ObjectId, dkey: bytes, akey: bytes, value: Any) -> "Transaction":
+        """Stage a single-value write."""
+        self._check_open()
+        self.ops.append({
+            "kind": "kv_put", "oid": oid, "dkey": bytes(dkey),
+            "akey": bytes(akey), "value": value,
+        })
+        return self
+
+    def punch_dkey(self, oid: ObjectId, dkey: bytes) -> "Transaction":
+        """Stage a dkey removal."""
+        self._check_open()
+        self.ops.append({"kind": "punch_dkey", "oid": oid, "dkey": bytes(dkey)})
+        return self
+
+    def abort(self) -> None:
+        """Drop the staged operations."""
+        self._check_open()
+        self.aborted = True
+        self.ops.clear()
+
+    def commit(self, ctx: JobThread) -> Generator[Event, None, int]:
+        """Apply every staged op atomically; returns the commit epoch."""
+        self._check_open()
+        result = yield from self.cont.client.call(ctx, "tx_commit", {
+            "pool": self.cont.pool, "cont": self.cont.cont, "ops": self.ops,
+        })
+        self.committed_epoch = int(result["epoch"])
+        return self.committed_epoch

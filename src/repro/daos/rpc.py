@@ -1,0 +1,164 @@
+"""CaRT/Mercury-like RPC framework over fabric channels.
+
+DAOS's RPC stack (CaRT over Mercury, §3.3) provides tagged
+request/response messaging with bulk-transfer descriptors riding in the
+request.  This module reproduces that shape:
+
+* :class:`RpcServer` — registers generator handlers per opcode, services
+  one or more channels, replies with results or propagated errors.
+* :class:`RpcClient` — tagged calls with a completion demultiplexer.
+
+Handlers receive ``(args, src, channel)`` so they can drive one-sided bulk
+transfers against descriptors the client put in ``args`` — exactly how a
+DAOS engine pulls write payloads and pushes read payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.daos.types import DaosError
+from repro.hw.platform import ComputeNode
+from repro.net.fabric import FabricChannel
+from repro.net.message import Message
+from repro.sim.core import Environment, Event, Process
+
+__all__ = ["RpcError", "RpcServer", "RpcClient", "RPC_REQUEST_BYTES"]
+
+#: Wire size of a request/response capsule (opcode, ids, keys, descriptor).
+RPC_REQUEST_BYTES = 220
+RPC_REPLY_BYTES = 96
+
+
+class RpcError(DaosError):
+    """An RPC failed on the server; carries the remote error text."""
+
+
+class RpcServer:
+    """Opcode-dispatching RPC service for one node."""
+
+    def __init__(self, node: ComputeNode) -> None:
+        self.node = node
+        self.env: Environment = node.env
+        self._handlers: Dict[str, Callable] = {}
+        self._loops: list = []
+        self.requests_served = 0
+
+    def register(self, opcode: str, handler: Callable) -> None:
+        """Register ``handler(args, src, channel) -> generator`` for ``opcode``."""
+        if opcode in self._handlers:
+            raise ValueError(f"duplicate RPC opcode {opcode!r}")
+        self._handlers[opcode] = handler
+
+    def opcodes(self) -> list:
+        """Registered opcode names."""
+        return sorted(self._handlers)
+
+    def serve(self, channel: FabricChannel) -> Process:
+        """Start servicing requests arriving on ``channel``."""
+        proc = self.env.process(self._serve_loop(channel), name="rpc-server")
+        self._loops.append(proc)
+        return proc
+
+    def _serve_loop(self, channel: FabricChannel):
+        name = self.node.name
+        while True:
+            msg = yield channel.recv(name)
+            if msg.kind == "rpc.shutdown":
+                return
+            if msg.kind != "rpc.req":
+                continue  # stray message; CaRT drops unknown traffic
+            self.env.process(self._dispatch(channel, msg), name="rpc-handler")
+
+    def _dispatch(self, channel: FabricChannel, msg: Message):
+        opcode = msg.payload.get("op")
+        args = msg.payload.get("args", {})
+        handler = self._handlers.get(opcode)
+        if handler is None:
+            yield from channel.send(msg.reply_to(
+                kind="rpc.rep",
+                payload={"status": "error", "error": f"unknown opcode {opcode!r}"},
+                nbytes=RPC_REPLY_BYTES,
+            ))
+            return
+        try:
+            result = yield from handler(args, msg.src, channel)
+        except DaosError as exc:
+            yield from channel.send(msg.reply_to(
+                kind="rpc.rep",
+                payload={"status": "error", "error": f"{type(exc).__name__}: {exc}"},
+                nbytes=RPC_REPLY_BYTES,
+            ))
+            return
+        # Handlers that piggyback payload bytes onto the reply (inline
+        # fetches) declare the extra wire size via the "_wire" key.
+        wire_extra = 0
+        if isinstance(result, dict):
+            wire_extra = int(result.pop("_wire", 0))
+        self.requests_served += 1
+        yield from channel.send(msg.reply_to(
+            kind="rpc.rep",
+            payload={"status": "ok", "result": result},
+            nbytes=RPC_REPLY_BYTES + wire_extra,
+        ))
+
+
+class RpcClient:
+    """Tagged RPC calls over one channel, with a demux loop."""
+
+    _tags = itertools.count(1)
+
+    def __init__(self, node: ComputeNode, channel: FabricChannel) -> None:
+        self.node = node
+        self.env: Environment = node.env
+        self.channel = channel
+        self.server_name = channel.peer_of(node.name)
+        self._pending: Dict[int, Event] = {}
+        self._demux: Optional[Process] = None
+
+    def start(self) -> "RpcClient":
+        """Spawn the reply demultiplexer; call once before any call."""
+        if self._demux is None:
+            self._demux = self.env.process(self._demux_loop(), name="rpc-demux")
+        return self
+
+    def _demux_loop(self):
+        name = self.node.name
+        while True:
+            msg = yield self.channel.recv(name)
+            waiter = self._pending.pop(msg.tag, None)
+            if waiter is not None:
+                waiter.succeed(msg)
+
+    def call(
+        self,
+        opcode: str,
+        args: Dict[str, Any],
+        req_nbytes: int = RPC_REQUEST_BYTES,
+    ) -> Generator[Event, None, Any]:
+        """Issue one RPC; returns the handler result or raises RpcError."""
+        if self._demux is None:
+            raise RuntimeError("RpcClient not started; call start() first")
+        tag = next(RpcClient._tags)
+        done = self.env.event()
+        self._pending[tag] = done
+        yield from self.channel.send(Message(
+            src=self.node.name,
+            dst=self.server_name,
+            kind="rpc.req",
+            tag=tag,
+            payload={"op": opcode, "args": args},
+            nbytes=req_nbytes,
+        ))
+        reply = yield done
+        body = reply.payload
+        if body["status"] != "ok":
+            raise RpcError(body.get("error", "remote failure"))
+        return body.get("result")
+
+    def shutdown_server(self) -> Generator[Event, None, None]:
+        """Stop the server loop on this channel."""
+        yield from self.channel.send(Message(
+            src=self.node.name, dst=self.server_name, kind="rpc.shutdown", nbytes=16
+        ))

@@ -1,0 +1,95 @@
+"""DRAM buffer pools.
+
+The DPU has only 30 GiB of onboard DRAM (§4.1) and every data-plane
+payload "currently terminates in DPU DRAM" (§3.2), so buffer-pool capacity
+is a real constraint for the offloaded client.  :class:`DramPool` tracks
+allocations against capacity and blocks allocators when the pool is
+exhausted (back-pressure), which the multi-tenant experiments exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.core import Environment, Event
+from repro.sim.monitor import Gauge
+from repro.sim.resources import Container
+
+__all__ = ["DramPool", "Allocation"]
+
+
+class Allocation:
+    """A live DRAM allocation; free it exactly once."""
+
+    __slots__ = ("pool", "nbytes", "_freed")
+
+    def __init__(self, pool: "DramPool", nbytes: int) -> None:
+        self.pool = pool
+        self.nbytes = nbytes
+        self._freed = False
+
+    @property
+    def freed(self) -> bool:
+        """True once returned to the pool."""
+        return self._freed
+
+    def free(self) -> None:
+        """Return the bytes to the pool (idempotent)."""
+        if not self._freed:
+            self._freed = True
+            self.pool._release(self.nbytes)
+
+    def __enter__(self) -> "Allocation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.free()
+
+
+class DramPool:
+    """A byte pool with blocking allocation and occupancy instrumentation."""
+
+    def __init__(self, env: Environment, capacity_bytes: int, name: str = "dram") -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.env = env
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self._free = Container(env, capacity=capacity_bytes, init=capacity_bytes)
+        self.occupancy = Gauge(env, f"{name}.occupancy")
+
+    @property
+    def free_bytes(self) -> float:
+        """Bytes currently unallocated."""
+        return self._free.level
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes currently allocated."""
+        return self.capacity_bytes - self._free.level
+
+    def alloc(self, nbytes: int) -> Generator[Event, None, Allocation]:
+        """Allocate ``nbytes``; blocks until available.  Use ``yield from``."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive, got {nbytes}")
+        if nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"{self.name}: allocation of {nbytes} exceeds capacity {self.capacity_bytes}"
+            )
+        yield self._free.get(nbytes)
+        self.occupancy.set(self.used_bytes)
+        return Allocation(self, nbytes)
+
+    def try_alloc(self, nbytes: int) -> Optional[Allocation]:
+        """Allocate without blocking; None if it does not fit right now."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive, got {nbytes}")
+        if nbytes > self._free.level:
+            return None
+        self._free.get(nbytes)
+        self.occupancy.set(self.used_bytes)
+        return Allocation(self, nbytes)
+
+    def _release(self, nbytes: int) -> None:
+        self._free.put(nbytes)
+        self.occupancy.set(self.used_bytes)

@@ -1,0 +1,151 @@
+"""NVMe SSD device and striped-array models.
+
+A device is a FIFO serializer whose per-op service time is
+``max(size / bandwidth, 1 / iops_cap)`` — this single expression yields
+both the large-block bandwidth plateau and the small-block IOPS ceiling of
+Fig. 3 — plus a NAND access latency paid in parallel (it delays each
+completion but consumes no device throughput, matching how internal
+parallelism hides latency once queues are deep).
+
+The array stripes a flat logical address space across devices (1 MiB
+stripe, like the paper's dfs/fio layout), giving the near-linear
+multi-drive scaling of Fig. 3c.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.hw.specs import MIB, NvmeSpec
+from repro.sim.core import Environment, Event
+from repro.sim.monitor import RateMeter
+from repro.sim.queues import FifoServer
+
+__all__ = ["NvmeDevice", "NvmeArray"]
+
+
+class NvmeDevice:
+    """One NVMe SSD as a calibrated queueing station."""
+
+    __slots__ = ("env", "spec", "index", "_server", "reads", "writes")
+
+    def __init__(self, env: Environment, spec: NvmeSpec, index: int = 0) -> None:
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self._server = FifoServer(env)
+        self.reads = RateMeter(env, f"nvme{index}.reads")
+        self.writes = RateMeter(env, f"nvme{index}.writes")
+
+    def submit(
+        self,
+        nbytes: int,
+        is_write: bool,
+        bw_efficiency: float = 1.0,
+    ) -> Generator[Event, None, None]:
+        """Perform one device I/O; completes after queue + service + latency.
+
+        ``bw_efficiency`` < 1 models a software path (e.g. the kernel block
+        layer) that cannot stream the device at its raw rate; it inflates
+        only the bandwidth-bound component of the service time.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"I/O size must be positive, got {nbytes}")
+        if not 0.0 < bw_efficiency <= 1.0:
+            raise ValueError(f"bw_efficiency must be in (0, 1], got {bw_efficiency}")
+        spec = self.spec
+        if is_write:
+            service = max(nbytes / (spec.write_bw * bw_efficiency), 1.0 / spec.write_iops_cap)
+        else:
+            service = max(nbytes / (spec.read_bw * bw_efficiency), 1.0 / spec.read_iops_cap)
+        yield self._server.serve(service)
+        yield self.env.timeout(spec.access_latency(is_write))
+        (self.writes if is_write else self.reads).record(nbytes)
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative seconds of device service."""
+        return self._server.busy_time
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the device was serving."""
+        return self._server.utilization(elapsed)
+
+
+class NvmeArray:
+    """``n`` devices striped into one logical address space.
+
+    Stripe unit is 1 MiB: a 1 MiB sequential stream round-robins whole
+    I/Os across drives (near-linear bandwidth scaling) while 4 KiB random
+    I/Os scatter uniformly.
+    """
+
+    __slots__ = ("env", "devices", "stripe_bytes")
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: NvmeSpec,
+        n_devices: int,
+        stripe_bytes: int = MIB,
+    ) -> None:
+        if n_devices <= 0:
+            raise ValueError(f"need at least one device, got {n_devices}")
+        if stripe_bytes <= 0:
+            raise ValueError(f"stripe size must be positive, got {stripe_bytes}")
+        self.env = env
+        self.devices: List[NvmeDevice] = [NvmeDevice(env, spec, i) for i in range(n_devices)]
+        self.stripe_bytes = int(stripe_bytes)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total array capacity."""
+        return sum(d.spec.capacity_bytes for d in self.devices)
+
+    def device_for(self, offset: int) -> NvmeDevice:
+        """The device holding logical ``offset``."""
+        return self.devices[(offset // self.stripe_bytes) % len(self.devices)]
+
+    def split(self, offset: int, nbytes: int) -> List[Tuple[NvmeDevice, int]]:
+        """Break ``[offset, offset+nbytes)`` into per-device pieces."""
+        out: List[Tuple[NvmeDevice, int]] = []
+        remaining = nbytes
+        pos = offset
+        while remaining > 0:
+            in_stripe = self.stripe_bytes - (pos % self.stripe_bytes)
+            take = min(remaining, in_stripe)
+            out.append((self.device_for(pos), take))
+            pos += take
+            remaining -= take
+        return out
+
+    def submit(
+        self,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+        bw_efficiency: float = 1.0,
+    ) -> Generator[Event, None, None]:
+        """One logical I/O; pieces on different devices proceed in parallel."""
+        pieces = self.split(offset, nbytes)
+        if len(pieces) == 1:
+            dev, size = pieces[0]
+            yield from dev.submit(size, is_write, bw_efficiency)
+            return
+        env = self.env
+        procs = [
+            env.process(dev.submit(size, is_write, bw_efficiency))
+            for dev, size in pieces
+        ]
+        yield env.all_of(procs)
+
+    def total_bytes_read(self) -> int:
+        """Aggregate bytes read across devices."""
+        return sum(d.reads.bytes for d in self.devices)
+
+    def total_bytes_written(self) -> int:
+        """Aggregate bytes written across devices."""
+        return sum(d.writes.bytes for d in self.devices)

@@ -1,0 +1,54 @@
+"""Network transports: kernel TCP and RDMA verbs, plus provider bindings.
+
+The paper's data plane runs over UCX or libfabric with either a TCP or an
+RDMA (verbs) provider (§3.2).  This package implements both transports
+*functionally* — messages really carry payloads, RDMA really enforces
+protection domains, memory-region bounds and rkeys — while charging the
+calibrated CPU/wire costs from :mod:`repro.hw.specs` so the performance
+shape matches the physical stacks:
+
+* :mod:`repro.net.message` — message framing and wire-size accounting.
+* :mod:`repro.net.tcp` — kernel-path TCP: per-op syscall costs, per-byte
+  copy/checksum work, a host-wide serialized stack section, per-connection
+  stream processing, and receive-side processing confined to the RX cores
+  (the BlueField-3 bottleneck).
+* :mod:`repro.net.rdma` — verbs: devices, PDs, MRs with lkey/rkey, RC
+  queue pairs, completion queues, two-sided SEND/RECV and one-sided
+  READ/WRITE, eager vs rendezvous protocols, zero remote CPU on the
+  one-sided path.
+* :mod:`repro.net.fabric` — the provider registry (``ucx+rc``,
+  ``ucx+dc_x``, ``ofi+verbs;ofi_rxm``, ``ucx+tcp``, ``ofi+tcp;ofi_rxm``)
+  giving every upper layer one endpoint interface regardless of transport.
+"""
+
+from repro.net.fabric import Fabric, FabricEndpoint, list_providers, resolve_provider
+from repro.net.message import Message
+from repro.net.rdma import (
+    AccessFlags,
+    AccessViolation,
+    CompletionQueue,
+    MemoryRegion,
+    ProtectionDomain,
+    QueuePair,
+    RdmaDevice,
+    RdmaError,
+)
+from repro.net.tcp import TcpConnection, TcpStack
+
+__all__ = [
+    "AccessFlags",
+    "AccessViolation",
+    "CompletionQueue",
+    "Fabric",
+    "FabricEndpoint",
+    "list_providers",
+    "MemoryRegion",
+    "Message",
+    "ProtectionDomain",
+    "QueuePair",
+    "RdmaDevice",
+    "RdmaError",
+    "resolve_provider",
+    "TcpConnection",
+    "TcpStack",
+]

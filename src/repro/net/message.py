@@ -1,0 +1,86 @@
+"""Message framing and wire-size accounting.
+
+A :class:`Message` is what upper layers (RPC, NVMe-oF, DAOS) hand to a
+transport.  Payloads may be:
+
+* real bytes (``bytes``/``bytearray``/``numpy`` arrays) — used by the
+  functional tests and examples, where data integrity is checked
+  end-to-end, or
+* *virtual* payloads (``payload=None`` with an explicit ``nbytes``) — used
+  by the performance benches, where only sizes matter and copying megabytes
+  per simulated I/O would waste host memory bandwidth for nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message", "payload_nbytes", "HEADER_BYTES"]
+
+#: Fixed per-message framing overhead we account on the wire (transport
+#: header + protocol framing); protocol goodput efficiency is applied on
+#: top of this by each transport.
+HEADER_BYTES = 64
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort byte size of a payload object."""
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:  # numpy arrays and friends
+        return int(nbytes)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(p) for p in payload) + 8
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()) + 8
+    # Opaque control objects: a small fixed estimate.
+    return 96
+
+
+@dataclass
+class Message:
+    """One transport message.
+
+    ``nbytes`` defaults to the payload's size; set it explicitly for
+    virtual payloads.  ``kind`` and ``tag`` are free-form routing fields
+    used by the RPC layers (service/method, request id).
+    """
+
+    src: str
+    dst: str
+    kind: str = "data"
+    tag: int = 0
+    payload: Any = None
+    nbytes: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nbytes is None:
+            self.nbytes = payload_nbytes(self.payload)
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size {self.nbytes}")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Payload plus framing header."""
+        return self.nbytes + HEADER_BYTES
+
+    def reply_to(self, payload: Any = None, nbytes: Optional[int] = None,
+                 kind: Optional[str] = None) -> "Message":
+        """Build a response message addressed back to the sender."""
+        return Message(
+            src=self.dst,
+            dst=self.src,
+            kind=kind or self.kind,
+            tag=self.tag,
+            payload=payload,
+            nbytes=nbytes,
+        )

@@ -1,0 +1,442 @@
+"""RDMA verbs transport model.
+
+Functional semantics follow the verbs API closely enough to express the
+paper's security discussion (§2.3) and ROS2's multi-tenant design:
+
+* :class:`RdmaDevice` — one per node (the ConnectX / BlueField NIC).
+* :class:`ProtectionDomain` — the isolation unit; QPs and MRs belong to a
+  PD, and one-sided access with an rkey from a different PD is rejected.
+* :class:`MemoryRegion` — a registered buffer window with ``lkey``/``rkey``
+  and access flags; may carry a real ``bytearray``/NumPy buffer (functional
+  mode) or be *virtual* (performance mode).  Regions can be bounded in
+  time (scoped rkeys) and revoked.
+* :class:`QueuePair` — reliable-connected QP with SEND/RECV plus one-sided
+  READ/WRITE, each raising :class:`AccessViolation` on rkey/bounds/PD/flag
+  violations instead of silently moving data.
+* :class:`CompletionQueue` — completions as a store the owner drains.
+
+Timing (constants in :data:`repro.hw.specs.RDMA_COSTS`): the initiator
+pays ``tx_cpu_per_op`` to post and poll; payload bytes cross the switch at
+``goodput_efficiency`` with **zero per-byte CPU anywhere** (zero-copy DMA);
+one-sided ops cost the target **nothing**; two-sided delivery charges the
+target ``rx_cpu_per_op`` for its CQ poll.  Messages above
+``rendezvous_threshold`` pay one extra control round-trip (RTS/CTS) —
+the rendezvous protocol §3.2 uses to amortize per-message overhead on
+large sequential I/O.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.hw.platform import ComputeNode
+from repro.hw.specs import RDMA_COSTS, TransportCosts
+from repro.net.message import HEADER_BYTES
+from repro.sim.core import Environment, Event
+from repro.sim.monitor import RateMeter
+from repro.sim.resources import Store
+
+__all__ = [
+    "AccessFlags",
+    "AccessViolation",
+    "RdmaError",
+    "MemoryRegion",
+    "ProtectionDomain",
+    "CompletionQueue",
+    "Completion",
+    "QueuePair",
+    "RdmaDevice",
+]
+
+
+class RdmaError(RuntimeError):
+    """Generic RDMA failure (bad state, disconnected QP...)."""
+
+
+class AccessViolation(RdmaError):
+    """A one-sided operation failed its rkey / bounds / PD / flags check."""
+
+
+class AccessFlags(enum.IntFlag):
+    """MR access permissions (subset of ibv_access_flags)."""
+
+    LOCAL_READ = 0x1
+    LOCAL_WRITE = 0x2
+    REMOTE_READ = 0x4
+    REMOTE_WRITE = 0x8
+
+    @classmethod
+    def local_only(cls) -> "AccessFlags":
+        return cls.LOCAL_READ | cls.LOCAL_WRITE
+
+    @classmethod
+    def remote_rw(cls) -> "AccessFlags":
+        return cls.LOCAL_READ | cls.LOCAL_WRITE | cls.REMOTE_READ | cls.REMOTE_WRITE
+
+
+_key_counter = itertools.count(0x1000)
+_addr_counter = itertools.count(0x10_0000_0000)
+_qp_counter = itertools.count(1)
+
+
+class MemoryRegion:
+    """A registered memory window.
+
+    ``buffer`` is optional: when present (bytearray or 1-D uint8 NumPy
+    array) one-sided operations move real bytes; when absent the region is
+    virtual and only sizes/permissions are enforced.
+    """
+
+    __slots__ = (
+        "pd", "addr", "length", "lkey", "rkey", "flags",
+        "buffer", "valid_until", "_revoked",
+    )
+
+    def __init__(
+        self,
+        pd: "ProtectionDomain",
+        length: int,
+        flags: AccessFlags,
+        buffer: Optional[Any] = None,
+        valid_until: Optional[float] = None,
+    ) -> None:
+        if length <= 0:
+            raise ValueError(f"MR length must be positive, got {length}")
+        if buffer is not None and len(buffer) < length:
+            raise ValueError(
+                f"buffer of {len(buffer)} bytes cannot back an MR of {length}"
+            )
+        self.pd = pd
+        self.addr = next(_addr_counter)
+        self.length = int(length)
+        self.lkey = next(_key_counter)
+        self.rkey = next(_key_counter)
+        self.flags = flags
+        self.buffer = buffer
+        #: Simulated-time expiry for scoped rkeys (ROS2 tenant capability).
+        self.valid_until = valid_until
+        self._revoked = False
+
+    @property
+    def revoked(self) -> bool:
+        """True once deregistered or explicitly revoked."""
+        return self._revoked
+
+    def revoke(self) -> None:
+        """Invalidate the region's keys immediately."""
+        self._revoked = True
+
+    def expired(self, now: float) -> bool:
+        """True if a scoped rkey has passed its validity window."""
+        return self.valid_until is not None and now > self.valid_until
+
+    def contains(self, addr: int, nbytes: int) -> bool:
+        """Whether ``[addr, addr+nbytes)`` lies inside the region."""
+        return self.addr <= addr and addr + nbytes <= self.addr + self.length
+
+    def read_bytes(self, addr: int, nbytes: int) -> Optional[bytes]:
+        """Copy real bytes out (None for virtual regions)."""
+        if self.buffer is None:
+            return None
+        off = addr - self.addr
+        return bytes(memoryview(self.buffer)[off:off + nbytes])
+
+    def write_bytes(self, addr: int, data: Any) -> None:
+        """Copy real bytes in (no-op for virtual regions)."""
+        if self.buffer is None or data is None:
+            return
+        off = addr - self.addr
+        view = memoryview(self.buffer)
+        view[off:off + len(data)] = bytes(data)
+
+
+class ProtectionDomain:
+    """The verbs isolation unit: MRs and QPs that may interoperate."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, device: "RdmaDevice") -> None:
+        self.device = device
+        self.pd_id = next(ProtectionDomain._ids)
+        self.regions: Dict[int, MemoryRegion] = {}  # rkey -> MR
+
+    def register_mr(
+        self,
+        length: int,
+        flags: AccessFlags = AccessFlags.local_only(),
+        buffer: Optional[Any] = None,
+        valid_until: Optional[float] = None,
+    ) -> MemoryRegion:
+        """Register a buffer (or a virtual window) and mint its keys."""
+        mr = MemoryRegion(self, length, flags, buffer, valid_until)
+        self.regions[mr.rkey] = mr
+        return mr
+
+    def deregister_mr(self, mr: MemoryRegion) -> None:
+        """Remove the region; its keys stop validating immediately."""
+        mr.revoke()
+        self.regions.pop(mr.rkey, None)
+
+    def lookup(self, rkey: int) -> Optional[MemoryRegion]:
+        """The live region for ``rkey`` within this PD, else None."""
+        mr = self.regions.get(rkey)
+        if mr is None or mr.revoked:
+            return None
+        return mr
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One CQ entry."""
+
+    wr_id: int
+    opcode: str  # "send" | "recv" | "read" | "write"
+    status: str  # "ok" | error string
+    nbytes: int = 0
+    payload: Any = None
+
+
+class CompletionQueue:
+    """Completion delivery; owners drain it with ``yield cq.poll()``."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._store = Store(env)
+
+    def push(self, completion: Completion) -> None:
+        """Add a completion (never blocks)."""
+        self._store.put(completion)
+
+    def poll(self):
+        """Event yielding the next completion."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class QueuePair:
+    """A reliable-connected queue pair.
+
+    All data-moving methods are generators (``yield from``) that complete
+    when the operation's ACK would arrive at the initiator.
+    """
+
+    def __init__(
+        self,
+        device: "RdmaDevice",
+        pd: ProtectionDomain,
+        send_cq: Optional[CompletionQueue] = None,
+        recv_cq: Optional[CompletionQueue] = None,
+    ) -> None:
+        if pd.device is not device:
+            raise RdmaError("PD belongs to a different device")
+        self.device = device
+        self.pd = pd
+        self.qp_num = next(_qp_counter)
+        self.env: Environment = device.env
+        self.send_cq = send_cq or CompletionQueue(self.env)
+        self.recv_cq = recv_cq or CompletionQueue(self.env)
+        self.remote: Optional["QueuePair"] = None
+        self._recv_queue: Store = Store(self.env)  # posted recv WRs
+
+    # -- connection management ---------------------------------------------
+    def connect(self, remote: "QueuePair") -> None:
+        """Pair two QPs (both directions)."""
+        if self.remote is not None or remote.remote is not None:
+            raise RdmaError("QP already connected")
+        self.remote = remote
+        remote.remote = self
+
+    def _require_remote(self) -> "QueuePair":
+        if self.remote is None:
+            raise RdmaError(f"QP {self.qp_num} is not connected")
+        return self.remote
+
+    # -- two-sided ------------------------------------------------------------
+    def post_recv(self, wr_id: int, mr: Optional[MemoryRegion] = None) -> None:
+        """Post a receive work request (buffer optional in virtual mode)."""
+        self._recv_queue.put((wr_id, mr))
+
+    def post_send(
+        self,
+        payload: Any = None,
+        nbytes: Optional[int] = None,
+        wr_id: int = 0,
+    ) -> Generator[Event, None, Completion]:
+        """Two-sided SEND; matches a posted RECV at the peer.
+
+        Returns the initiator-side completion.  The receiver's completion
+        (with the payload) lands in its ``recv_cq``.
+        """
+        remote = self._require_remote()
+        costs = self.device.costs
+        env = self.env
+        size = nbytes if nbytes is not None else _payload_size(payload)
+
+        yield self.device.node.cpu.execute(costs.tx_cpu_per_op)
+        yield from self._wire(remote, size)
+
+        # Receiver must have a posted RECV (flow control is the upper
+        # layer's job; we block until one is available, like an RC QP
+        # with RNR retries).
+        wr_id_recv, mr = yield remote._recv_queue.get()
+        if mr is not None and isinstance(payload, (bytes, bytearray, memoryview)):
+            mr.write_bytes(mr.addr, payload)
+        yield remote.device.node.cpu.execute(costs.rx_cpu_per_op)
+        remote.recv_cq.push(Completion(wr_id_recv, "recv", "ok", size, payload))
+
+        comp = Completion(wr_id, "send", "ok", size)
+        self.send_cq.push(comp)
+        self.device.sent.record(size)
+        remote.device.received.record(size)
+        return comp
+
+    # -- one-sided -------------------------------------------------------------
+    def rdma_write(
+        self,
+        remote_addr: int,
+        rkey: int,
+        payload: Any = None,
+        nbytes: Optional[int] = None,
+        wr_id: int = 0,
+    ) -> Generator[Event, None, Completion]:
+        """One-sided WRITE into the peer's memory.  Zero remote CPU."""
+        remote = self._require_remote()
+        size = nbytes if nbytes is not None else _payload_size(payload)
+        mr = self._validate(remote, remote_addr, size, AccessFlags.REMOTE_WRITE, rkey)
+
+        yield self.device.node.cpu.execute(self.device.costs.tx_cpu_per_op)
+        yield from self._wire(remote, size)
+
+        if payload is not None:
+            mr.write_bytes(remote_addr, payload)
+        comp = Completion(wr_id, "write", "ok", size)
+        self.send_cq.push(comp)
+        self.device.sent.record(size)
+        remote.device.received.record(size)
+        return comp
+
+    def rdma_read(
+        self,
+        remote_addr: int,
+        rkey: int,
+        nbytes: int,
+        wr_id: int = 0,
+    ) -> Generator[Event, None, Completion]:
+        """One-sided READ from the peer's memory.  Zero remote CPU.
+
+        The completion's ``payload`` carries the bytes for backed regions.
+        """
+        remote = self._require_remote()
+        mr = self._validate(remote, remote_addr, nbytes, AccessFlags.REMOTE_READ, rkey)
+
+        yield self.device.node.cpu.execute(self.device.costs.tx_cpu_per_op)
+        # Request travels out (small), data travels back (nbytes).
+        yield from self._wire(remote, 0)
+        yield from remote.device.qp_wire(self.device, nbytes, rendezvous_exempt=True)
+
+        data = mr.read_bytes(remote_addr, nbytes)
+        comp = Completion(wr_id, "read", "ok", nbytes, data)
+        self.send_cq.push(comp)
+        remote.device.sent.record(nbytes)
+        self.device.received.record(nbytes)
+        return comp
+
+    # -- internals ---------------------------------------------------------
+    def _validate(
+        self,
+        remote: "QueuePair",
+        addr: int,
+        nbytes: int,
+        needed: AccessFlags,
+        rkey: int,
+    ) -> MemoryRegion:
+        """rkey / PD / bounds / flags / expiry enforcement at the target.
+
+        This is the NIC-resident check the paper's security discussion
+        (§2.3) centers on: possession of a *valid* rkey in the *target
+        QP's PD* is necessary and sufficient — no CPU, no higher-level
+        authentication.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"one-sided op size must be positive, got {nbytes}")
+        mr = remote.pd.lookup(rkey)
+        if mr is None:
+            raise AccessViolation(
+                f"rkey {rkey:#x} is not valid in the target QP's protection domain"
+            )
+        if mr.expired(self.env.now):
+            raise AccessViolation(f"rkey {rkey:#x} has expired (scoped registration)")
+        if not mr.contains(addr, nbytes):
+            raise AccessViolation(
+                f"access [{addr:#x}, +{nbytes}) outside MR [{mr.addr:#x}, +{mr.length})"
+            )
+        if not (mr.flags & needed):
+            raise AccessViolation(f"MR lacks {needed.name} permission")
+        return mr
+
+    def _wire(
+        self, remote: "QueuePair", size: int
+    ) -> Generator[Event, None, None]:
+        yield from self.device.qp_wire(remote.device, size)
+
+
+class RdmaDevice:
+    """The RDMA-capable NIC of one node."""
+
+    def __init__(self, node: ComputeNode, costs: TransportCosts = RDMA_COSTS) -> None:
+        self.node = node
+        self.env: Environment = node.env
+        self.costs = costs
+        self.sent = RateMeter(self.env, f"{node.name}.rdma.tx")
+        self.received = RateMeter(self.env, f"{node.name}.rdma.rx")
+
+    def alloc_pd(self) -> ProtectionDomain:
+        """Allocate a protection domain."""
+        return ProtectionDomain(self)
+
+    def create_qp(
+        self,
+        pd: ProtectionDomain,
+        send_cq: Optional[CompletionQueue] = None,
+        recv_cq: Optional[CompletionQueue] = None,
+    ) -> QueuePair:
+        """Create an RC queue pair in ``pd``."""
+        return QueuePair(self, pd, send_cq, recv_cq)
+
+    def qp_wire(
+        self,
+        dst_device: "RdmaDevice",
+        size: int,
+        rendezvous_exempt: bool = False,
+    ) -> Generator[Event, None, None]:
+        """Move ``size`` payload bytes to ``dst_device`` over the switch.
+
+        Applies goodput efficiency, fixed stack latency, and — for large
+        two-sided messages — the rendezvous control round-trip.
+        """
+        costs = self.costs
+        env = self.env
+        src_name = self.node.name
+        dst_name = dst_device.node.name
+        yield env.timeout(costs.rtt_overhead / 2.0)
+        if (
+            not rendezvous_exempt
+            and costs.rendezvous_threshold is not None
+            and size > costs.rendezvous_threshold
+        ):
+            # RTS/CTS exchange: one extra round-trip of small control msgs.
+            rtt = 2 * (self.node.switch.spec.propagation + costs.rtt_overhead / 2.0)
+            yield env.timeout(rtt)
+        wire = int((size + HEADER_BYTES) / costs.goodput_efficiency)
+        yield from self.node.switch.transmit(src_name, dst_name, wire)
+
+
+def _payload_size(payload: Any) -> int:
+    from repro.net.message import payload_nbytes
+
+    return payload_nbytes(payload)

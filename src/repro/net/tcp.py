@@ -1,0 +1,159 @@
+"""Kernel TCP transport model.
+
+What the model charges for one message (all constants in
+:data:`repro.hw.specs.TCP_COSTS`, scaled by each host's factors):
+
+=================  =========================================================
+sender             ``tx_cpu_per_op`` on a general core (syscall, skb setup)
+                   plus ``tx_cpu_per_byte * size`` (copy into socket buffer)
+sender, serial     ``stack_serial_per_op`` in the host-wide TCP stack
+                   section (socket/qdisc locks, scaled by ``lock_factor``)
+connection         ``per_conn_byte_cost * size`` through the connection's
+                   own FIFO server — the classic single-stream ceiling
+wire               ``frame/goodput_efficiency`` bytes across the switch,
+                   plus ``rtt_overhead/2`` fixed stack latency
+receiver, RX path  ``rx_cpu_per_byte * size`` on the *restricted RX core
+                   set* (softirq + copy-to-user).  On BlueField-3 this pool
+                   is 2 slow cores — the receive bottleneck of §4.4
+receiver           ``rx_cpu_per_op`` on a general core (wakeup, syscall)
+receiver, serial   ``stack_serial_per_op`` in the receiver's stack section
+=================  =========================================================
+
+The *functional* layer is a connection with in-order reliable delivery of
+:class:`~repro.net.message.Message` objects into the receiver's inbox.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.hw.platform import ComputeNode
+from repro.hw.specs import TCP_COSTS, TransportCosts
+from repro.net.message import Message
+from repro.sim.core import Environment, Event
+from repro.sim.monitor import RateMeter
+from repro.sim.queues import FifoServer
+from repro.sim.resources import Store
+
+__all__ = ["TcpConnection", "TcpStack"]
+
+
+class TcpConnection:
+    """One established, bidirectional TCP connection between two nodes."""
+
+    _ids = 0
+
+    def __init__(
+        self,
+        a: "TcpStack",
+        b: "TcpStack",
+    ) -> None:
+        TcpConnection._ids += 1
+        self.conn_id = TcpConnection._ids
+        self._stacks: Dict[str, TcpStack] = {a.node.name: a, b.node.name: b}
+        # Per-direction single-stream processing (per_conn_byte_cost).
+        env = a.env
+        self._stream: Dict[str, FifoServer] = {
+            a.node.name: FifoServer(env),
+            b.node.name: FifoServer(env),
+        }
+        #: Per-endpoint inbox of delivered messages.
+        self.inbox: Dict[str, Store] = {
+            a.node.name: Store(env),
+            b.node.name: Store(env),
+        }
+        #: Separate inbox for provider-internal messages (kinds starting
+        #: with "_"), so RMA emulation never races application receives.
+        self.internal: Dict[str, Store] = {
+            a.node.name: Store(env),
+            b.node.name: Store(env),
+        }
+        self.closed = False
+
+    def peer_of(self, name: str) -> str:
+        """The other endpoint's node name."""
+        for n in self._stacks:
+            if n != name:
+                return n
+        raise KeyError(name)
+
+    def send(self, msg: Message) -> Generator[Event, None, None]:
+        """Send ``msg`` from ``msg.src``; completes when it is delivered.
+
+        Use as ``yield from conn.send(msg)`` or wrap in ``env.process`` to
+        pipeline multiple sends.
+        """
+        if self.closed:
+            raise ConnectionError(f"connection {self.conn_id} is closed")
+        src = self._stacks.get(msg.src)
+        if src is None:
+            raise KeyError(f"{msg.src!r} is not an endpoint of this connection")
+        dst = self._stacks[self.peer_of(msg.src)]
+        costs = src.costs
+        env = src.env
+        size = msg.nbytes
+
+        # --- sender ---------------------------------------------------
+        yield src.node.cpu.execute(
+            costs.tx_cpu_per_op + costs.tx_cpu_per_byte * size
+        )
+        if costs.stack_serial_per_op:
+            yield src.node.lock("tcp_stack").enter(costs.stack_serial_per_op)
+        # Single-stream per-connection processing (sequential per direction).
+        if costs.per_conn_byte_cost and size:
+            yield self._stream[msg.src].serve(costs.per_conn_byte_cost * size)
+
+        # --- wire ------------------------------------------------------
+        yield env.timeout(costs.rtt_overhead / 2.0)
+        wire = int(msg.frame_bytes / costs.goodput_efficiency)
+        yield from src.node.switch.transmit(msg.src, dst.node.name, wire)
+
+        # --- receiver ---------------------------------------------------
+        if costs.rx_cpu_per_byte and size:
+            # Per-byte RX work runs on the restricted RX core set; the
+            # pool's own factor already includes the platform RX penalty.
+            yield dst.node.tcp_rx_cpu.execute(costs.rx_cpu_per_byte * size)
+        yield dst.node.cpu.execute(costs.rx_cpu_per_op)
+        if costs.stack_serial_per_op:
+            yield dst.node.lock("tcp_stack").enter(costs.stack_serial_per_op)
+
+        src.sent.record(size)
+        dst.received.record(size)
+        box = self.internal if msg.kind.startswith("_") else self.inbox
+        yield box[dst.node.name].put(msg)
+
+    def recv(self, name: str):
+        """Event yielding the next message delivered to endpoint ``name``."""
+        return self.inbox[name].get()
+
+    def recv_internal(self, name: str):
+        """Event yielding the next provider-internal message for ``name``."""
+        return self.internal[name].get()
+
+    def close(self) -> None:
+        """Mark the connection closed; further sends raise."""
+        self.closed = True
+
+
+class TcpStack:
+    """The per-node TCP stack: connection setup plus cost bookkeeping."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        costs: TransportCosts = TCP_COSTS,
+    ) -> None:
+        self.node = node
+        self.env: Environment = node.env
+        self.costs = costs
+        self.sent = RateMeter(self.env, f"{node.name}.tcp.tx")
+        self.received = RateMeter(self.env, f"{node.name}.tcp.rx")
+        self.connections: list = []
+
+    def connect(self, remote: "TcpStack") -> TcpConnection:
+        """Open a connection to ``remote`` (handshake cost is negligible
+        next to the paper's multi-second measurement windows)."""
+        conn = TcpConnection(self, remote)
+        self.connections.append(conn)
+        remote.connections.append(conn)
+        return conn

@@ -1,0 +1,59 @@
+"""Discrete-event simulation kernel.
+
+A small, fast, SimPy-flavoured DES written from scratch (SimPy is not a
+dependency of this project).  It provides:
+
+* :class:`~repro.sim.core.Environment` — the event loop and virtual clock.
+* :class:`~repro.sim.core.Event`, :class:`~repro.sim.core.Timeout`,
+  :class:`~repro.sim.core.Process` — the primitive coordination objects.
+* :mod:`repro.sim.resources` — capacity-limited resources, stores and
+  containers used to model CPUs, device queues and links.
+* :mod:`repro.sim.queues` — serializers and bandwidth pipes used by the
+  hardware models.
+* :mod:`repro.sim.monitor` — lightweight instrumentation (counters,
+  time-weighted gauges, latency recorders).
+
+Time is a ``float`` in **seconds**.  All hardware models in
+:mod:`repro.hw` build directly on these primitives.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.monitor import Counter, Gauge, LatencyRecorder, Monitor, RateMeter
+from repro.sim.queues import BandwidthPipe, FifoServer
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthPipe",
+    "Container",
+    "Counter",
+    "Environment",
+    "Event",
+    "FifoServer",
+    "Gauge",
+    "Interrupt",
+    "LatencyRecorder",
+    "Monitor",
+    "PriorityResource",
+    "Process",
+    "RateMeter",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,491 @@
+"""Core discrete-event simulation primitives.
+
+The kernel follows the classic event-list design: a binary heap keyed by
+``(time, priority, sequence)`` holds scheduled events; :meth:`Environment.step`
+pops one event, advances the clock and runs its callbacks.  Processes are
+plain Python generators that ``yield`` events; the kernel resumes a process
+when the yielded event is processed, sending the event's value back into the
+generator (or throwing its exception).
+
+The implementation is deliberately small and allocation-conscious — the
+hardware models in :mod:`repro.hw` push hundreds of thousands of events per
+simulated run, and the guides for this domain stress keeping the interpreter
+out of hot loops wherever possible (``__slots__`` everywhere, no closures in
+the dispatch path).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "SimulationError",
+    "Interrupt",
+    "StopProcess",
+    "Event",
+    "Timeout",
+    "Process",
+    "ConditionEvent",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+]
+
+#: Sentinel for an event that has not yet been triggered.
+PENDING = object()
+
+#: Scheduling priority for events that must run before same-time events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, yield of foreign events...)."""
+
+
+class StopProcess(Exception):
+    """Raised internally to abort a process from outside (rarely needed)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; the event it was
+    waiting on stays valid and may be re-yielded.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The ``cause`` object passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An outcome that will happen at some point in simulated time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` schedules them,
+    and once the environment processes them every callback in
+    :attr:`callbacks` runs exactly once.  Processes wait on events by
+    yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks ``fn(event)`` invoked when the event is processed.
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or will be) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if still pending."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have ``exception`` thrown into
+        it.  If nobody waits, the exception surfaces from
+        :meth:`Environment.step` unless :meth:`defused` was set.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._value is PENDING else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay, NORMAL)
+
+
+class Initialize(Event):
+    """Urgent event used to start a freshly created :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, 0.0, URGENT)
+
+
+class _InterruptEvent(Event):
+    """Urgent event delivering an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
+        super().__init__(env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks.append(self._deliver)
+        env.schedule(self, 0.0, URGENT)
+
+    def _deliver(self, event: "Event") -> None:
+        proc = self.process
+        if proc.triggered:  # process already finished; drop the interrupt
+            return
+        # Detach the process from whatever it is waiting on, then resume it
+        # with the Interrupt exception.
+        target = proc._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(proc._resume)
+            except ValueError:
+                pass
+        proc._target = None
+        proc._resume(self)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires when the generator ends.
+
+    The value of the process-event is the generator's return value; if the
+    generator raises, the process fails with that exception.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        _InterruptEvent(self.env, self, cause)
+
+    # -- dispatch ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self.generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self.generator.throw(exc)
+            except StopIteration as stop:
+                env._active = None
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self, 0.0, URGENT)
+                return
+            except StopProcess:
+                env._active = None
+                self._ok = True
+                self._value = None
+                env.schedule(self, 0.0, URGENT)
+                return
+            except BaseException as exc:  # noqa: BLE001 - failure propagates
+                env._active = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self, 0.0, URGENT)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+            if next_event.env is not env:
+                env._active = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded an event from another environment"
+                )
+            if next_event.callbacks is not None:
+                # Still pending or scheduled: park until it is processed.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: loop immediately with its value.
+            event = next_event
+        env._active = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class ConditionEvent(Event):
+    """Base class for :class:`AllOf` / :class:`AnyOf` composite waits."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        self._pending = len(self.events)
+        if self._pending == 0:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        # An event has *fired* once its callbacks ran (Timeouts carry their
+        # value from construction, so testing the value would be wrong).
+        return {ev: ev._value for ev in self.events if ev.callbacks is None and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Fires once *all* constituent events have fired.
+
+    Value is a ``{event: value}`` mapping.  Fails fast if any constituent
+    fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(ConditionEvent):
+    """Fires as soon as *any* constituent event fires.
+
+    Value is a ``{event: value}`` mapping of the events fired so far.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event loop.
+
+    Typical use::
+
+        env = Environment()
+
+        def producer(env, store):
+            while True:
+                yield env.timeout(1.0)
+                yield store.put("item")
+
+        env.process(producer(env, store))
+        env.run(until=100.0)
+    """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active", "_trace_hook")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = 0
+        self._active: Optional[Process] = None
+        #: Optional callback ``fn(event)`` invoked after each processed
+        #: event (used by :class:`repro.sim.trace.Tracer`).
+        self._trace_hook: Optional[Callable[[Event], None]] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None outside process context)."""
+        return self._active
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
+        """Start ``generator`` as a new process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first event in ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Insert ``event`` into the event list ``delay`` seconds from now."""
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _prio, _eid, event = heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if self._trace_hook is not None:
+            self._trace_hook(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until`` is ``None`` — run until the event list drains.
+        * ``until`` is a number — run all events scheduled up to and
+          including that time, then set the clock to it.
+        * ``until`` is an :class:`Event` — run until that event is processed
+          and return its value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.callbacks is None:  # already processed
+                if not sentinel._ok:
+                    raise sentinel._value
+                return sentinel._value
+            flag = [False]
+            sentinel.callbacks.append(lambda ev: flag.__setitem__(0, True))
+            while not flag[0]:
+                if not self._queue:
+                    raise SimulationError(
+                        "event list empty but the awaited event never fired"
+                    )
+                self.step()
+            if not sentinel._ok:
+                sentinel._defused = True
+                raise sentinel._value
+            return sentinel._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

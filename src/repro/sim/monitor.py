@@ -1,0 +1,215 @@
+"""Lightweight instrumentation for simulation runs.
+
+Benchmarks need throughput/IOPS/latency summaries without perturbing the
+event loop.  Everything here is plain accumulation; percentile math is
+vectorized with NumPy only at report time, as the optimization guides
+recommend (measure first, never in the hot loop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sim.core import Environment
+
+__all__ = ["Counter", "Gauge", "RateMeter", "LatencyRecorder", "Monitor"]
+
+
+class Counter:
+    """A monotonically increasing event/byte counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount``."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A time-weighted level (queue depth, buffer occupancy).
+
+    :meth:`set` records the new level; :meth:`mean` integrates the level
+    over time.
+    """
+
+    __slots__ = ("name", "env", "_level", "_last_t", "_area", "_max")
+
+    def __init__(self, env: Environment, name: str, initial: float = 0.0) -> None:
+        self.env = env
+        self.name = name
+        self._level = float(initial)
+        self._last_t = env.now
+        self._area = 0.0
+        self._max = float(initial)
+
+    @property
+    def level(self) -> float:
+        """Current level."""
+        return self._level
+
+    @property
+    def peak(self) -> float:
+        """Maximum level observed."""
+        return self._max
+
+    def set(self, level: float) -> None:
+        """Record a new level at the current simulated time."""
+        now = self.env.now
+        self._area += self._level * (now - self._last_t)
+        self._last_t = now
+        self._level = float(level)
+        if level > self._max:
+            self._max = float(level)
+
+    def add(self, delta: float) -> None:
+        """Adjust the level by ``delta``."""
+        self.set(self._level + delta)
+
+    def mean(self, since: float = 0.0) -> float:
+        """Time-weighted mean level from ``since`` until now."""
+        now = self.env.now
+        span = now - since
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last_t)
+        return area / span
+
+
+class RateMeter:
+    """Counts operations and bytes over a measurement window.
+
+    :meth:`reset` marks the window start (used to drop warm-up);
+    :meth:`ops_per_sec` / :meth:`bytes_per_sec` report steady-state rates.
+    """
+
+    __slots__ = ("env", "name", "ops", "bytes", "_t0")
+
+    def __init__(self, env: Environment, name: str) -> None:
+        self.env = env
+        self.name = name
+        self.ops = 0
+        self.bytes = 0
+        self._t0 = env.now
+
+    @property
+    def window_start(self) -> float:
+        return self._t0
+
+    def record(self, nbytes: int = 0) -> None:
+        """Record one completed operation of ``nbytes``."""
+        self.ops += 1
+        self.bytes += nbytes
+
+    def reset(self) -> None:
+        """Restart the measurement window at the current time."""
+        self.ops = 0
+        self.bytes = 0
+        self._t0 = self.env.now
+
+    def elapsed(self) -> float:
+        """Length of the current window."""
+        return self.env.now - self._t0
+
+    def ops_per_sec(self) -> float:
+        """Operations per second over the window."""
+        dt = self.elapsed()
+        return self.ops / dt if dt > 0 else 0.0
+
+    def bytes_per_sec(self) -> float:
+        """Payload bytes per second over the window."""
+        dt = self.elapsed()
+        return self.bytes / dt if dt > 0 else 0.0
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies; summarizes with NumPy at the end."""
+
+    __slots__ = ("name", "_samples", "enabled")
+
+    def __init__(self, name: str, enabled: bool = True) -> None:
+        self.name = name
+        self._samples: List[float] = []
+        #: When False, :meth:`record` is a no-op (cheap to leave in place).
+        self.enabled = enabled
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, latency: float) -> None:
+        """Record one latency sample in seconds."""
+        if self.enabled:
+            self._samples.append(latency)
+
+    def clear(self) -> None:
+        """Drop all samples (e.g. at the end of warm-up)."""
+        self._samples.clear()
+
+    def summary(self) -> Dict[str, float]:
+        """Return count/mean/p50/p95/p99/max in seconds (zeros if empty)."""
+        if not self._samples:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        arr = np.asarray(self._samples, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+        return {
+            "count": int(arr.size),
+            "mean": float(arr.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "max": float(arr.max()),
+        }
+
+
+class Monitor:
+    """A named registry of instruments for one simulation run."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.rates: Dict[str, RateMeter] = {}
+        self.latencies: Dict[str, LatencyRecorder] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str, initial: float = 0.0) -> Gauge:
+        """Get or create the gauge ``name``."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(self.env, name, initial)
+        return g
+
+    def rate(self, name: str) -> RateMeter:
+        """Get or create the rate meter ``name``."""
+        r = self.rates.get(name)
+        if r is None:
+            r = self.rates[name] = RateMeter(self.env, name)
+        return r
+
+    def latency(self, name: str, enabled: bool = True) -> LatencyRecorder:
+        """Get or create the latency recorder ``name``."""
+        rec = self.latencies.get(name)
+        if rec is None:
+            rec = self.latencies[name] = LatencyRecorder(name, enabled)
+        return rec
+
+    def reset_rates(self) -> None:
+        """Restart every rate meter's window (end of warm-up)."""
+        for r in self.rates.values():
+            r.reset()
+        for rec in self.latencies.values():
+            rec.clear()

@@ -1,0 +1,211 @@
+"""Fast queueing primitives used by the hardware models.
+
+The generic :class:`~repro.sim.resources.Resource` costs three events per
+acquire/hold/release cycle.  The models in :mod:`repro.hw` push enough
+operations that this matters, so this module provides *reservation-based*
+servers that need only **one** event per operation:
+
+* :class:`FifoServer` — a single FIFO server.  ``serve(duration)`` computes
+  the completion time analytically (``max(now, free_at) + duration``) and
+  returns a single timeout event.  Exactly models a non-preemptive FIFO
+  queue with deterministic service, which is how we model NVMe channels and
+  serial links.
+* :class:`PooledServer` — ``n`` identical FIFO servers sharing one queue
+  (an M/G/n-style station).  Completion times are computed with a heap of
+  per-server free times.  Models CPU core pools.
+* :class:`BandwidthPipe` — a duplex-less byte pipe: transfers are chopped
+  into chunks that interleave fairly through a :class:`FifoServer`, so a
+  small message never waits behind more than the in-flight chunks of large
+  transfers.  Models NIC links and PCIe lanes.
+
+All of them track cumulative busy time so utilization can be reported.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import ceil
+from typing import Generator, Optional
+
+from repro.sim.core import Environment, Event, Timeout
+
+__all__ = ["FifoServer", "PooledServer", "BandwidthPipe"]
+
+
+class FifoServer:
+    """A single non-preemptive FIFO server with deterministic service times.
+
+    ``serve()`` *reserves* the server immediately: the caller is queued at
+    its current position and receives an event that fires when its service
+    completes.  This collapses queueing to O(1) state (the time the server
+    next becomes free).
+    """
+
+    __slots__ = ("env", "rate", "_free_at", "busy_time", "ops")
+
+    def __init__(self, env: Environment, rate: Optional[float] = None) -> None:
+        self.env = env
+        #: Optional service rate in units/second for :meth:`serve_units`.
+        self.rate = rate
+        self._free_at = 0.0
+        #: Cumulative seconds of service performed (for utilization).
+        self.busy_time = 0.0
+        #: Number of operations served.
+        self.ops = 0
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time the server becomes idle."""
+        return self._free_at
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of already-reserved work ahead of a new arrival."""
+        return max(0.0, self._free_at - self.env.now)
+
+    def serve(self, duration: float) -> Timeout:
+        """Reserve ``duration`` seconds of service; event fires at completion."""
+        if duration < 0:
+            raise ValueError(f"negative service duration {duration}")
+        now = self.env.now
+        start = self._free_at if self._free_at > now else now
+        done = start + duration
+        self._free_at = done
+        self.busy_time += duration
+        self.ops += 1
+        return self.env.timeout(done - now)
+
+    def serve_units(self, units: float) -> Timeout:
+        """Serve ``units`` of work at the configured ``rate``."""
+        if self.rate is None:
+            raise ValueError("server has no rate configured; use serve(duration)")
+        return self.serve(units / self.rate)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time busy over ``elapsed`` (default: since t=0)."""
+        span = self.env.now if elapsed is None else elapsed
+        return 0.0 if span <= 0 else min(1.0, self.busy_time / span)
+
+
+class PooledServer:
+    """``n`` identical FIFO servers fed from a single queue.
+
+    Like :class:`FifoServer` but with a heap of per-server free times: a new
+    operation is assigned to the earliest-free server.  This is the
+    standard work-conserving multi-server station and models a CPU core
+    pool under non-preemptive dispatch.
+    """
+
+    __slots__ = ("env", "n", "_free", "busy_time", "ops")
+
+    def __init__(self, env: Environment, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one server, got {n}")
+        self.env = env
+        self.n = int(n)
+        self._free = [0.0] * self.n
+        heapq.heapify(self._free)
+        self.busy_time = 0.0
+        self.ops = 0
+
+    @property
+    def earliest_free(self) -> float:
+        """Time the least-loaded server becomes idle."""
+        return self._free[0]
+
+    def execute(self, duration: float) -> Timeout:
+        """Reserve ``duration`` seconds on the earliest-free server."""
+        if duration < 0:
+            raise ValueError(f"negative service duration {duration}")
+        now = self.env.now
+        free = heapq.heappop(self._free)
+        start = free if free > now else now
+        done = start + duration
+        heapq.heappush(self._free, done)
+        self.busy_time += duration
+        self.ops += 1
+        return self.env.timeout(done - now)
+
+    def backlog(self) -> float:
+        """Seconds until the earliest server frees up (0 if any is idle)."""
+        return max(0.0, self._free[0] - self.env.now)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Mean per-server busy fraction over ``elapsed`` (default since 0)."""
+        span = self.env.now if elapsed is None else elapsed
+        return 0.0 if span <= 0 else min(1.0, self.busy_time / (span * self.n))
+
+
+class BandwidthPipe:
+    """A shared serial byte pipe with chunk-level fair interleaving.
+
+    A transfer of ``nbytes`` is broken into ``chunk_bytes`` pieces; each
+    piece reserves the underlying :class:`FifoServer` only when the
+    previous piece finishes, so concurrent transfers interleave at chunk
+    granularity (approximating per-packet fair sharing).  A fixed
+    ``latency`` is added once per transfer.
+
+    Use from a process as ``yield from pipe.transfer(nbytes)``.
+    """
+
+    __slots__ = ("env", "bandwidth", "latency", "chunk_bytes", "_server", "bytes_moved")
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        latency: float = 0.0,
+        chunk_bytes: int = 64 * 1024,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        self.env = env
+        #: Bytes per second.
+        self.bandwidth = float(bandwidth)
+        #: One-way propagation + fixed per-message latency in seconds.
+        self.latency = float(latency)
+        self.chunk_bytes = int(chunk_bytes)
+        self._server = FifoServer(env)
+        #: Total payload bytes moved (for reports).
+        self.bytes_moved = 0
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative seconds the pipe spent transmitting."""
+        return self._server.busy_time
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the pipe was transmitting."""
+        return self._server.utilization(elapsed)
+
+    def transfer(self, nbytes: int) -> Generator[Event, None, None]:
+        """Move ``nbytes`` through the pipe; completes after the last chunk.
+
+        This is a plain generator intended for ``yield from`` inside a
+        simulation process (no extra :class:`Process` is spawned).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        self.bytes_moved += nbytes
+        if self.latency:
+            yield self.env.timeout(self.latency)
+        if nbytes == 0:
+            return
+        bw = self.bandwidth
+        chunk = self.chunk_bytes
+        full, tail = divmod(nbytes, chunk)
+        chunk_time = chunk / bw
+        for _ in range(full):
+            yield self._server.serve(chunk_time)
+        if tail:
+            yield self._server.serve(tail / bw)
+
+    def transfer_time_estimate(self, nbytes: int) -> float:
+        """Uncontended time to move ``nbytes`` (latency + serialization)."""
+        return self.latency + nbytes / self.bandwidth
+
+    def n_chunks(self, nbytes: int) -> int:
+        """Number of chunks a transfer of ``nbytes`` is split into."""
+        return max(1, ceil(nbytes / self.chunk_bytes)) if nbytes else 0

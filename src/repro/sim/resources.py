@@ -1,0 +1,331 @@
+"""Capacity-limited resources, stores and containers.
+
+These are the queueing building blocks for the hardware models:
+
+* :class:`Resource` — ``capacity`` identical servers (CPU cores, NVMe
+  submission slots).  FIFO grant order.
+* :class:`PriorityResource` — like :class:`Resource` but grants by
+  ``(priority, fifo)`` order; used for QoS experiments.
+* :class:`Store` — an unbounded/bounded FIFO of Python objects (message
+  queues, completion queues).
+* :class:`Container` — a continuous level (bytes of buffer pool, tokens).
+
+All request/put/get operations return events.  Requests support use as
+context managers inside processes::
+
+    with cpu.request() as req:
+        yield req
+        yield env.timeout(cost)
+
+which guarantees release even if the process is interrupted while queued.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = [
+    "Request",
+    "Release",
+    "Resource",
+    "PriorityRequest",
+    "PriorityResource",
+    "StorePut",
+    "StoreGet",
+    "Store",
+    "ContainerPut",
+    "ContainerGet",
+    "Container",
+]
+
+
+class Request(Event):
+    """Event that fires when the resource grants a slot to the requester."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw the request (granted slot is released, queued one dropped)."""
+        self.resource.release(self)
+
+    # Context-manager protocol: ``with res.request() as req: yield req``
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+
+class Release(Event):
+    """Immediately-successful event produced by :meth:`Resource.release`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env)
+        self.succeed()
+
+
+class Resource:
+    """``capacity`` identical servers granted to requests in FIFO order."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Slots currently granted."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Return a slot (or withdraw a queued request)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass  # releasing twice is a no-op by design
+        else:
+            self._grant_next()
+        return Release(self.env)
+
+    # -- internals ----------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityRequest(Request):
+    """Request carrying a priority (lower value = more urgent)."""
+
+    __slots__ = ("priority", "_seq")
+
+    def __init__(self, resource: "PriorityResource", priority: int) -> None:
+        self.priority = priority
+        self._seq = resource._next_seq()
+        super().__init__(resource)
+
+    @property
+    def key(self) -> tuple:
+        return (self.priority, self._seq)
+
+
+class PriorityResource(Resource):
+    """Resource granting queued requests in ``(priority, arrival)`` order."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        """Ask for one slot with ``priority`` (lower is served first)."""
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+            # Keep queue sorted by (priority, seq).  Queues are short in all
+            # our models, so insertion sort via sorted() is fine.
+            self.queue = deque(sorted(self.queue, key=lambda r: r.key))  # type: ignore[attr-defined]
+
+
+class StorePut(Event):
+    """Fires when the item has been accepted into the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    """Fires with the retrieved item as its value."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._do_get(self)
+
+
+class Store:
+    """FIFO store of arbitrary items with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Offer ``item``; fires when there is room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Take the oldest item; fires when one is available."""
+        return StoreGet(self)
+
+    # -- internals ----------------------------------------------------------
+    def _do_put(self, event: StorePut) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(event.item)
+            event.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+        else:
+            self._putters.append(event)
+
+    def _do_get(self, event: StoreGet) -> None:
+        if self.items:
+            item = self.items.popleft()
+            event.succeed(item)
+            if self._putters and len(self.items) < self.capacity:
+                putter = self._putters.popleft()
+                self.items.append(putter.item)
+                putter.succeed()
+        elif self._putters:
+            putter = self._putters.popleft()
+            event.succeed(putter.item)
+            putter.succeed()
+        else:
+            self._getters.append(event)
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._do_put(self)
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._do_get(self)
+
+
+class Container:
+    """A continuous quantity with blocking put/get (token buckets, pools)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: Deque[ContainerPut] = deque()
+        self._getters: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; fires once it fits under ``capacity``."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; fires once the level covers it."""
+        return ContainerGet(self, amount)
+
+    # -- internals ----------------------------------------------------------
+    def _do_put(self, event: ContainerPut) -> None:
+        if self._level + event.amount <= self.capacity:
+            self._level += event.amount
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+
+    def _do_get(self, event: ContainerGet) -> None:
+        if event.amount <= self._level:
+            self._level -= event.amount
+            event.succeed()
+            self._serve_putters()
+        else:
+            if event.amount > self.capacity:
+                event.fail(
+                    SimulationError(
+                        f"get({event.amount}) exceeds container capacity {self.capacity}"
+                    )
+                )
+                return
+            self._getters.append(event)
+
+    def _serve_getters(self) -> None:
+        while self._getters and self._getters[0].amount <= self._level:
+            g = self._getters.popleft()
+            self._level -= g.amount
+            g.succeed()
+
+    def _serve_putters(self) -> None:
+        while self._putters and self._level + self._putters[0].amount <= self.capacity:
+            p = self._putters.popleft()
+            self._level += p.amount
+            p.succeed()

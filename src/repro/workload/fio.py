@@ -1,0 +1,171 @@
+"""The FIO-equivalent workload driver.
+
+One :class:`FioJobSpec` names everything the paper's sweeps vary — the
+POSIX workload (``read``/``write``/``randread``/``randwrite``), block
+size, ``numjobs``, ``iodepth``, runtime — and :func:`run_fio` drives any
+engine *adapter* with it: ``numjobs`` job threads, each keeping
+``iodepth`` operations in flight, with a ramp-up window excluded from the
+measurement (FIO's ``ramp_time``).
+
+An adapter is anything with::
+
+    new_context(name=None) -> JobThread
+    submit(ctx, offset, nbytes, is_write) -> generator
+
+which :class:`~repro.storage.iouring.IoUringEngine`,
+:class:`~repro.storage.spdk.SpdkLocalEngine` and
+:class:`~repro.storage.spdk.NvmfInitiator` already satisfy;
+:class:`Ros2FioAdapter` adds the ROS2 data port (FIO's DFS engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.core import Environment
+from repro.sim.monitor import LatencyRecorder, RateMeter
+from repro.sim.rng import RngStreams
+from repro.workload.patterns import RandomPattern, SequentialPattern
+
+__all__ = ["FioJobSpec", "FioResult", "Ros2FioAdapter", "run_fio", "WORKLOADS"]
+
+#: The paper's four POSIX workloads (Fig. 3/4/5 row labels R, W, RR, RW).
+WORKLOADS = ("read", "write", "randread", "randwrite")
+
+
+@dataclass(frozen=True)
+class FioJobSpec:
+    """One FIO job file (the knobs the paper sweeps)."""
+
+    rw: str = "read"
+    bs: int = 4096
+    numjobs: int = 1
+    iodepth: int = 16
+    runtime: float = 0.05  # measured window, simulated seconds
+    ramp_time: float = 0.01  # warm-up excluded from the stats
+    size: int = 256 * 1024 * 1024  # per-job region
+    record_latency: bool = False
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rw not in WORKLOADS:
+            raise ValueError(f"rw must be one of {WORKLOADS}, got {self.rw!r}")
+        if self.bs <= 0 or self.numjobs <= 0 or self.iodepth <= 0:
+            raise ValueError("bs, numjobs and iodepth must be positive")
+        if self.runtime <= 0 or self.ramp_time < 0:
+            raise ValueError("runtime must be positive, ramp_time non-negative")
+        if self.size < self.bs:
+            raise ValueError(f"per-job size {self.size} smaller than bs {self.bs}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.rw in ("write", "randwrite")
+
+    @property
+    def is_random(self) -> bool:
+        return self.rw in ("randread", "randwrite")
+
+
+@dataclass
+class FioResult:
+    """What FIO prints at the end of a run."""
+
+    spec: FioJobSpec
+    total_ios: int
+    elapsed: float
+    iops: float
+    bandwidth: float  # bytes/second
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bandwidth_gib(self) -> float:
+        """Bandwidth in GiB/s (the paper's large-block unit)."""
+        return self.bandwidth / 2**30
+
+    @property
+    def kiops(self) -> float:
+        """Thousands of IOPS (the paper's small-block unit)."""
+        return self.iops / 1e3
+
+    def __str__(self) -> str:
+        return (
+            f"{self.spec.rw} bs={self.spec.bs} jobs={self.spec.numjobs} "
+            f"qd={self.spec.iodepth}: {self.iops:,.0f} IOPS, "
+            f"{self.bandwidth_gib:.2f} GiB/s"
+        )
+
+
+class Ros2FioAdapter:
+    """FIO's DFS engine: drive one open ROS2 file through the data port."""
+
+    def __init__(self, port, fh: int) -> None:
+        self.port = port
+        self.fh = fh
+
+    def new_context(self, name: Optional[str] = None):
+        return self.port.new_context(name)
+
+    def submit(self, ctx, offset: int, nbytes: int, is_write: bool):
+        if is_write:
+            return self.port.write(ctx, self.fh, offset, nbytes=nbytes)
+        return self.port.read(ctx, self.fh, offset, nbytes)
+
+
+def run_fio(
+    env: Environment,
+    adapter,
+    spec: FioJobSpec,
+    until_extra: float = 0.0,
+) -> FioResult:
+    """Run one FIO job spec to completion and report the measured window.
+
+    The caller must have finished all setup processes (engines started,
+    files created and pre-filled); this call advances the simulation by
+    ``ramp_time + runtime`` seconds.
+    """
+    rng = RngStreams(spec.seed)
+    meter = RateMeter(env, "fio")
+    lat = LatencyRecorder("fio.lat", enabled=spec.record_latency)
+    t_start = env.now
+    measure_from = t_start + spec.ramp_time
+    t_end = measure_from + spec.runtime
+    stop = [False]
+
+    def lane(env, ctx, pattern):
+        while not stop[0]:
+            offset = pattern.next()
+            t0 = env.now
+            yield from adapter.submit(ctx, offset, spec.bs, spec.is_write)
+            if env.now >= measure_from:
+                meter.record(spec.bs)
+                lat.record(env.now - t0)
+
+    for j in range(spec.numjobs):
+        ctx = adapter.new_context(f"fio.job{j}")
+        region_start = j * spec.size
+        if spec.is_random:
+            pattern = RandomPattern(
+                region_start, spec.size, spec.bs, rng.stream(f"job{j}")
+            )
+        else:
+            pattern = SequentialPattern(region_start, spec.size, spec.bs)
+        for _ in range(spec.iodepth):
+            env.process(lane(env, ctx, pattern), name=f"fio.j{j}")
+
+    # Let the ramp pass, reset the window, then measure.
+    env.run(until=measure_from)
+    meter.reset()
+    lat.clear()
+    env.run(until=t_end + until_extra)
+    stop[0] = True
+    # Drain: in-flight operations complete but no new ones are issued.
+    elapsed = meter.elapsed()
+    return FioResult(
+        spec=spec,
+        total_ios=meter.ops,
+        elapsed=elapsed,
+        iops=meter.ops_per_sec(),
+        bandwidth=meter.bytes_per_sec(),
+        latency=lat.summary() if spec.record_latency else {},
+    )

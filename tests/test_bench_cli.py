@@ -1,0 +1,59 @@
+"""Unit tests for the bench CLI."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main, parse_size
+
+
+def test_parse_size_suffixes():
+    assert parse_size("4096") == 4096
+    assert parse_size("4k") == 4096
+    assert parse_size("1m") == 1024**2
+    assert parse_size("2g") == 2 * 1024**3
+    assert parse_size("1.5k") == 1536
+
+
+def test_parse_size_rejects_garbage():
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_size("lots")
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_providers_subcommand(capsys):
+    assert main(["providers"]) == 0
+    out = capsys.readouterr().out
+    assert "ucx+rc" in out and "ofi+tcp;ofi_rxm" in out
+
+
+def test_fig3_subcommand_runs(capsys):
+    assert main(["fig3", "--rw", "read", "--bs", "1m", "--jobs", "1",
+                 "--runtime", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "GiB/s" in out
+
+
+def test_fig4_subcommand_runs(capsys):
+    assert main(["fig4", "--provider", "ucx+rc", "--bs", "1m",
+                 "--client-cores", "2", "--server-cores", "2",
+                 "--rw", "read", "--runtime", "0.01"]) == 0
+    assert "fig4" in capsys.readouterr().out
+
+
+def test_fig5_subcommand_runs(capsys):
+    assert main(["fig5", "--transport", "rdma", "--client", "host",
+                 "--rw", "read", "--bs", "1m", "--jobs", "2",
+                 "--runtime", "0.03"]) == 0
+    assert "fig5" in capsys.readouterr().out
+
+
+def test_invalid_choices_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig3", "--rw", "trim"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig5", "--ssds", "9"])

@@ -1,0 +1,136 @@
+"""Unit tests for the SFQ per-tenant scheduler."""
+
+import pytest
+
+from repro.core.qos import QosScheduler
+from repro.sim import Environment
+
+
+def saturate(env, qos, tenant, nbytes, count, lanes=1):
+    """Keep ``lanes`` requests of this tenant outstanding (SFQ shares its
+    capacity by weight only between *backlogged* tenants)."""
+
+    def loop(env):
+        for _ in range(count):
+            yield from qos.submit(tenant, nbytes)
+
+    return [env.process(loop(env)) for _ in range(lanes)]
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        QosScheduler(env, 0)
+    qos = QosScheduler(env, 100)
+    with pytest.raises(ValueError):
+        qos.set_weight("t", 0)
+    with pytest.raises(ValueError):
+        list(qos.submit("t", 0))
+
+
+def test_single_tenant_gets_full_capacity():
+    env = Environment()
+    qos = QosScheduler(env, capacity_bytes_per_sec=1000)
+    saturate(env, qos, "solo", 100, 10)
+    env.run()
+    assert env.now == pytest.approx(1.0)
+    assert qos.served_bytes["solo"] == 1000
+
+
+def test_equal_weights_split_evenly():
+    env = Environment()
+    qos = QosScheduler(env, capacity_bytes_per_sec=1000)
+    saturate(env, qos, "a", 50, 20, lanes=4)
+    saturate(env, qos, "b", 50, 20, lanes=4)
+    env.run(until=2.0)
+    shares = qos.shares()
+    assert shares["a"] == pytest.approx(0.5, abs=0.06)
+    assert shares["b"] == pytest.approx(0.5, abs=0.06)
+
+
+def test_weights_enforce_proportional_shares():
+    env = Environment()
+    qos = QosScheduler(env, capacity_bytes_per_sec=1000)
+    qos.set_weight("heavy", 3.0)
+    qos.set_weight("light", 1.0)
+    saturate(env, qos, "heavy", 50, 60, lanes=6)
+    saturate(env, qos, "light", 50, 60, lanes=6)
+    env.run(until=4.0)
+    shares = qos.shares()
+    assert shares["heavy"] / shares["light"] == pytest.approx(3.0, rel=0.15)
+
+
+def test_work_conserving_when_one_tenant_idles():
+    env = Environment()
+    qos = QosScheduler(env, capacity_bytes_per_sec=1000)
+    qos.set_weight("a", 1.0)
+    qos.set_weight("b", 1.0)
+    # Only tenant a is active: it must get the whole 1000 B/s.
+    saturate(env, qos, "a", 100, 10)
+    env.run()
+    assert env.now == pytest.approx(1.0)
+
+
+def test_returning_tenant_gets_no_back_credit():
+    env = Environment()
+    qos = QosScheduler(env, capacity_bytes_per_sec=1000)
+
+    def late_joiner(env):
+        yield env.timeout(0.5)
+        for _ in range(20):
+            yield from qos.submit("late", 50)
+
+    saturate(env, qos, "early", 50, 40)
+    env.process(late_joiner(env))
+    env.run(until=1.5)
+    # In [0.5, 1.5] both compete evenly; "late" must not catch up on the
+    # first 0.5 s it was absent for.
+    assert qos.served_bytes["early"] > qos.served_bytes["late"]
+
+
+def test_jain_index():
+    assert QosScheduler.jain_index([1, 1, 1]) == pytest.approx(1.0)
+    assert QosScheduler.jain_index([1, 0, 0]) == pytest.approx(1 / 3)
+    assert QosScheduler.jain_index([]) == 1.0
+    assert QosScheduler.jain_index([2, 2, 2, 2]) == pytest.approx(1.0)
+
+
+def test_integration_with_ros2_service():
+    """QoS in the ROS2 data path: weighted tenants share the plane fairly."""
+    from repro.core import Ros2Config, Ros2System
+    from repro.hw.specs import GIB, MIB
+
+    env = Environment()
+    system = Ros2System(env, Ros2Config(transport="rdma", client="dpu", n_ssds=4))
+    tok_a = system.register_tenant("gold")
+    tok_b = system.register_tenant("bronze")
+    system.service.enable_qos(8 * GIB, weights={"gold": 3.0, "bronze": 1.0})
+
+    def setup(env):
+        yield from system.start()
+        sa = yield from system.open_session(tok_a)
+        sb = yield from system.open_session(tok_b)
+        fa = yield from sa.create("/a.dat")
+        fb = yield from sb.create("/b.dat")
+        return sa.data_port(), fa, sb.data_port(), fb
+
+    p = env.process(setup(env))
+    env.run(until=p)
+    pa, fa, pb, fb = p.value
+
+    def flood(env, port, fh, lanes=12):
+        def lane(env, k):
+            ctx = port.new_context()
+            off = k * 64 * MIB
+            while True:
+                yield from port.write(ctx, fh, off % (1024 * MIB), nbytes=MIB)
+                off += MIB
+
+        for k in range(lanes):
+            env.process(lane(env, k))
+
+    flood(env, pa, fa)
+    flood(env, pb, fb)
+    env.run(until=env.now + 0.2)
+    shares = system.service.qos.shares()
+    assert shares["gold"] / shares["bronze"] == pytest.approx(3.0, rel=0.2)

@@ -1,0 +1,84 @@
+"""Unit tests for the telemetry snapshot."""
+
+import pytest
+
+from repro.core import Ros2Config, Ros2System
+from repro.core.telemetry import SystemReport, snapshot
+from repro.hw.specs import MIB
+from repro.sim import Environment
+
+
+def run_workload(client="dpu", transport="rdma"):
+    env = Environment()
+    system = Ros2System(env, Ros2Config(transport=transport, client=client,
+                                        n_ssds=2))
+    token = system.register_tenant("telemetry")
+
+    def go(env):
+        yield from system.start()
+        session = yield from system.open_session(token)
+        fh = yield from session.create("/t.dat")
+        port = session.data_port()
+        ctx = port.new_context()
+        for i in range(16):
+            yield from port.write(ctx, fh, i * MIB, nbytes=MIB)
+        for i in range(16):
+            yield from port.read(ctx, fh, i * MIB, MIB)
+
+    p = env.process(go(env))
+    env.run(until=p)
+    return system
+
+
+def test_snapshot_structure():
+    system = run_workload()
+    report = snapshot(system)
+    assert isinstance(report, SystemReport)
+    assert report.now > 0
+    names = {n.name for n in report.nodes}
+    assert names == {"dpu", "storage", "host"}
+    assert len(report.devices) == 2
+
+
+def test_snapshot_counts_data_plane_traffic():
+    system = run_workload()
+    report = snapshot(system)
+    assert report.data_plane_write_bytes == 16 * MIB
+    assert report.data_plane_read_bytes == 16 * MIB
+    assert report.staged_peak_bytes >= MIB
+
+
+def test_snapshot_devices_saw_io():
+    system = run_workload()
+    report = snapshot(system)
+    assert sum(d.write_bytes for d in report.devices) == 16 * MIB
+    assert sum(d.read_bytes for d in report.devices) == 16 * MIB
+
+
+def test_tenant_stats_in_report():
+    system = run_workload()
+    report = snapshot(system)
+    assert report.tenant_stats["telemetry"]["ops"] == 32
+    assert report.tenant_stats["telemetry"]["bytes"] == 32 * MIB
+
+
+def test_busiest_component_is_plausible():
+    system = run_workload()
+    report = snapshot(system)
+    hint = report.busiest_component()
+    # In this short RDMA run the media should dominate.
+    assert hint.startswith("nvme") or "xstream" in hint or ".cpu" in hint
+
+
+def test_render_produces_tables():
+    system = run_workload(transport="tcp")
+    text = snapshot(system).render()
+    assert "Nodes @" in text
+    assert "NVMe devices" in text
+    assert "bottleneck hint:" in text
+
+
+def test_host_mode_snapshot_has_two_nodes():
+    system = run_workload(client="host")
+    report = snapshot(system)
+    assert {n.name for n in report.nodes} == {"host", "storage"}

@@ -1,0 +1,198 @@
+"""Unit tests for the NVMe device and array models."""
+
+import pytest
+
+from repro.hw.nvme import NvmeArray, NvmeDevice
+from repro.hw.specs import GIB, KIB, MIB, NVME_SSD
+from repro.sim import Environment
+
+
+def drive(env, gen):
+    """Run a generator to completion as a process and return its process."""
+    return env.process(gen)
+
+
+def test_single_read_latency_and_service():
+    env = Environment()
+    dev = NvmeDevice(env, NVME_SSD)
+    done = []
+
+    def io(env):
+        yield from dev.submit(MIB, is_write=False)
+        done.append(env.now)
+
+    env.process(io(env))
+    env.run()
+    expected = MIB / NVME_SSD.read_bw + NVME_SSD.read_latency
+    assert done[0] == pytest.approx(expected)
+
+
+def test_large_reads_saturate_bandwidth():
+    env = Environment()
+    dev = NvmeDevice(env, NVME_SSD)
+    n = 64
+
+    def job(env):
+        for _ in range(n):
+            yield from dev.submit(MIB, is_write=False)
+
+    env.process(job(env))
+    env.process(job(env))
+    env.run()
+    total = 2 * n * MIB
+    achieved = total / env.now
+    # Two concurrent jobs must pin the device at its raw read bandwidth.
+    assert achieved == pytest.approx(NVME_SSD.read_bw, rel=0.02)
+
+
+def test_write_bandwidth_lower_than_read():
+    def run(is_write):
+        env = Environment()
+        dev = NvmeDevice(env, NVME_SSD)
+
+        def job(env):
+            for _ in range(32):
+                yield from dev.submit(MIB, is_write=is_write)
+
+        env.process(job(env))
+        env.run()
+        return env.now
+
+    assert run(True) > run(False)  # writes are slower
+
+
+def test_small_io_hits_iops_cap():
+    env = Environment()
+    dev = NvmeDevice(env, NVME_SSD)
+    # Enough concurrent submitters to saturate the media (each job is a
+    # sync loop paying the 78us access latency, so ~13K IOPS per job).
+    n_jobs, per_job = 96, 200
+
+    def job(env):
+        for _ in range(per_job):
+            yield from dev.submit(4 * KIB, is_write=False)
+
+    for _ in range(n_jobs):
+        env.process(job(env))
+    env.run()
+    iops = n_jobs * per_job / env.now
+    assert iops == pytest.approx(NVME_SSD.read_iops_cap, rel=0.05)
+
+
+def test_bw_efficiency_inflates_bandwidth_term_only():
+    env = Environment()
+    dev = NvmeDevice(env, NVME_SSD)
+    done = []
+
+    def io(env):
+        yield from dev.submit(MIB, is_write=False, bw_efficiency=0.5)
+        done.append(env.now)
+
+    env.process(io(env))
+    env.run()
+    expected = MIB / (NVME_SSD.read_bw * 0.5) + NVME_SSD.read_latency
+    assert done[0] == pytest.approx(expected)
+
+
+def test_invalid_args_rejected():
+    env = Environment()
+    dev = NvmeDevice(env, NVME_SSD)
+    with pytest.raises(ValueError):
+        list(dev.submit(0, False))
+    with pytest.raises(ValueError):
+        list(dev.submit(4096, False, bw_efficiency=0.0))
+    with pytest.raises(ValueError):
+        list(dev.submit(4096, False, bw_efficiency=1.5))
+
+
+def test_meters_track_reads_and_writes():
+    env = Environment()
+    dev = NvmeDevice(env, NVME_SSD)
+
+    def io(env):
+        yield from dev.submit(4 * KIB, is_write=False)
+        yield from dev.submit(8 * KIB, is_write=True)
+
+    env.process(io(env))
+    env.run()
+    assert dev.reads.ops == 1 and dev.reads.bytes == 4 * KIB
+    assert dev.writes.ops == 1 and dev.writes.bytes == 8 * KIB
+
+
+# ---------------------------------------------------------------------------
+# NvmeArray
+# ---------------------------------------------------------------------------
+
+def test_array_striping_round_robin():
+    env = Environment()
+    arr = NvmeArray(env, NVME_SSD, n_devices=4, stripe_bytes=MIB)
+    assert arr.device_for(0).index == 0
+    assert arr.device_for(MIB).index == 1
+    assert arr.device_for(4 * MIB).index == 0
+    assert arr.device_for(5 * MIB + 17).index == 1
+
+
+def test_array_split_within_one_stripe():
+    env = Environment()
+    arr = NvmeArray(env, NVME_SSD, n_devices=4)
+    pieces = arr.split(0, 4 * KIB)
+    assert len(pieces) == 1
+    assert pieces[0][1] == 4 * KIB
+
+
+def test_array_split_across_stripes():
+    env = Environment()
+    arr = NvmeArray(env, NVME_SSD, n_devices=2, stripe_bytes=MIB)
+    pieces = arr.split(MIB - 4 * KIB, 8 * KIB)
+    assert [(d.index, n) for d, n in pieces] == [(0, 4 * KIB), (1, 4 * KIB)]
+
+
+def test_array_bandwidth_scales_with_devices():
+    def run(n_dev):
+        env = Environment()
+        arr = NvmeArray(env, NVME_SSD, n_devices=n_dev)
+
+        def job(env, start):
+            off = start * MIB
+            for i in range(32):
+                yield from arr.submit(off + i * MIB, MIB, is_write=False)
+
+        # Start offsets spread jobs evenly across the stripe set so the
+        # array is uniformly loaded from t=0 (no startup convoy).
+        for j in range(2 * n_dev):
+            env.process(job(env, j))
+        env.run()
+        return 2 * n_dev * 32 * MIB / env.now
+
+    bw1, bw4 = run(1), run(4)
+    assert bw4 / bw1 == pytest.approx(4.0, rel=0.05)
+
+
+def test_array_single_device_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        NvmeArray(env, NVME_SSD, n_devices=0)
+    with pytest.raises(ValueError):
+        NvmeArray(env, NVME_SSD, n_devices=2, stripe_bytes=0)
+
+
+def test_array_total_counters():
+    env = Environment()
+    arr = NvmeArray(env, NVME_SSD, n_devices=2)
+
+    def io(env):
+        yield from arr.submit(0, 2 * MIB, is_write=False)  # spans both devices
+        yield from arr.submit(0, 4 * KIB, is_write=True)
+
+    env.process(io(env))
+    env.run()
+    assert arr.total_bytes_read() == 2 * MIB
+    assert arr.total_bytes_written() == 4 * KIB
+
+
+def test_array_capacity():
+    env = Environment()
+    arr = NvmeArray(env, NVME_SSD, n_devices=4)
+    assert arr.capacity_bytes == 4 * NVME_SSD.capacity_bytes
+    # The paper's server exposes ~6.4 TB across 4 drives.
+    assert arr.capacity_bytes == pytest.approx(6.4e12, rel=0.01)

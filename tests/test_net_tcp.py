@@ -1,0 +1,200 @@
+"""Unit tests for the TCP transport model."""
+
+import pytest
+
+from repro.hw import make_paper_testbed
+from repro.hw.specs import GIB, KIB, MIB, TCP_COSTS
+from repro.net.message import Message
+from repro.net.tcp import TcpStack
+from repro.sim import Environment
+
+
+def make_pair(client="host"):
+    env = Environment()
+    top = make_paper_testbed(env, client=client)
+    a = TcpStack(top.client)
+    b = TcpStack(top.server)
+    return env, top, a, b
+
+
+def test_connect_and_send_delivers_message():
+    env, top, a, b = make_pair()
+    conn = a.connect(b)
+    got = []
+
+    def sender(env):
+        yield from conn.send(Message(src="host", dst="storage", payload=b"hello"))
+
+    def receiver(env):
+        msg = yield conn.recv("storage")
+        got.append(msg.payload)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert got == [b"hello"]
+
+
+def test_send_from_non_endpoint_raises():
+    env, top, a, b = make_pair()
+    conn = a.connect(b)
+
+    def sender(env):
+        yield from conn.send(Message(src="ghost", dst="storage", nbytes=10))
+
+    env.process(sender(env))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_closed_connection_rejects_send():
+    env, top, a, b = make_pair()
+    conn = a.connect(b)
+    conn.close()
+
+    def sender(env):
+        yield from conn.send(Message(src="host", dst="storage", nbytes=10))
+
+    env.process(sender(env))
+    with pytest.raises(ConnectionError):
+        env.run()
+
+
+def test_messages_arrive_in_order():
+    env, top, a, b = make_pair()
+    conn = a.connect(b)
+    got = []
+
+    def sender(env):
+        for i in range(5):
+            yield from conn.send(
+                Message(src="host", dst="storage", tag=i, nbytes=4 * KIB)
+            )
+
+    def receiver(env):
+        for _ in range(5):
+            msg = yield conn.recv("storage")
+            got.append(msg.tag)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_single_stream_bandwidth_ceiling():
+    """One connection cannot exceed the per-conn byte-processing rate."""
+    env, top, a, b = make_pair()
+    conn = a.connect(b)
+    n = 64
+
+    def one(env):
+        yield from conn.send(Message(src="host", dst="storage", nbytes=MIB))
+
+    # Pipelined sends (as real socket writers are): the per-connection
+    # stream-processing stage becomes the binding constraint.
+    for _ in range(n):
+        env.process(one(env))
+    env.run()
+    achieved = n * MIB / env.now
+    ceiling = 1.0 / TCP_COSTS.per_conn_byte_cost
+    assert achieved < ceiling
+    assert achieved > 0.6 * ceiling
+
+
+def test_parallel_connections_scale_throughput():
+    def run(n_conns):
+        env, top, a, b = make_pair()
+        conns = [a.connect(b) for _ in range(n_conns)]
+        per_conn = 32
+
+        def sender(env, conn):
+            for _ in range(per_conn):
+                yield from conn.send(Message(src="host", dst="storage", nbytes=MIB))
+
+        for c in conns:
+            env.process(sender(env, c))
+        env.run()
+        return n_conns * per_conn * MIB / env.now
+
+    assert run(4) > 2.0 * run(1)
+
+
+def test_internal_messages_use_internal_inbox():
+    env, top, a, b = make_pair()
+    conn = a.connect(b)
+    got = []
+
+    def sender(env):
+        yield from conn.send(Message(src="host", dst="storage", kind="_rxm_x", nbytes=8))
+        yield from conn.send(Message(src="host", dst="storage", kind="app", nbytes=8))
+
+    def receiver(env):
+        msg = yield conn.recv("storage")  # must see only the app message
+        got.append(msg.kind)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert got == ["app"]
+    assert len(conn.internal["storage"]) == 1
+
+
+def test_dpu_rx_path_slower_than_host_for_reads():
+    """Receiving bulk data on the DPU is much slower than on the host."""
+
+    def run(client):
+        env, top, a, b = make_pair(client=client)
+        conn = a.connect(b)
+        client_name = top.client.name
+
+        def one(env):
+            yield from conn.send(Message(src="storage", dst=client_name, nbytes=MIB))
+
+        # Pipelined pushes so the RX stage is the binding constraint.
+        for _ in range(32):
+            env.process(one(env))
+        env.run()
+        return 32 * MIB / env.now
+
+    host_bw = run("host")
+    dpu_bw = run("dpu")
+    # The BlueField TCP receive path should deliver well under half the
+    # host's receive bandwidth (paper Fig. 5a bottom).
+    assert dpu_bw < 0.5 * host_bw
+
+
+def test_dpu_tx_path_comparable_to_host():
+    """Sending (TX) from the DPU does not hit the RX bottleneck."""
+
+    def run(client):
+        env, top, a, b = make_pair(client=client)
+        conn = a.connect(b)
+        client_name = top.client.name
+
+        def client_push(env):
+            for _ in range(32):
+                yield from conn.send(
+                    Message(src=client_name, dst="storage", nbytes=MIB)
+                )
+
+        env.process(client_push(env))
+        env.run()
+        return 32 * MIB / env.now
+
+    host_bw = run("host")
+    dpu_bw = run("dpu")
+    assert dpu_bw > 0.6 * host_bw
+
+
+def test_meters_count_bytes():
+    env, top, a, b = make_pair()
+    conn = a.connect(b)
+
+    def sender(env):
+        yield from conn.send(Message(src="host", dst="storage", nbytes=1000))
+
+    env.process(sender(env))
+    env.run()
+    assert a.sent.bytes == 1000
+    assert b.received.bytes == 1000

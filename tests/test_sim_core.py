@@ -1,0 +1,378 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt, SimulationError
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [2.5]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        v = yield env.timeout(1.0, value="payload")
+        got.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    for delay, tag in [(3, "c"), (1, "a"), (2, "b")]:
+        env.process(waiter(env, delay, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    order = []
+
+    def waiter(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcd":
+        env.process(waiter(env, tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return 42
+
+    def parent(env, out):
+        result = yield env.process(child(env))
+        out.append(result)
+
+    out = []
+    env.process(parent(env, out))
+    env.run()
+    assert out == [42]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3)
+        return "done"
+
+    proc = env.process(child(env))
+    assert env.run(until=proc) == "done"
+    assert env.now == 3
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker(env, hits):
+        while True:
+            yield env.timeout(1)
+            hits.append(env.now)
+
+    hits = []
+    env.process(ticker(env, hits))
+    env.run(until=3.5)
+    assert env.now == 3.5
+    assert hits == [1, 2, 3]
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter(env, ev):
+        got.append((yield ev))
+
+    def firer(env, ev):
+        yield env.timeout(2)
+        ev.succeed("hello")
+
+    env.process(waiter(env, ev))
+    env.process(firer(env, ev))
+    env.run()
+    assert got == ["hello"]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env, ev))
+
+    def firer(env, ev):
+        yield env.timeout(1)
+        ev.fail(RuntimeError("boom"))
+
+    env.process(firer(env, ev))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("bad process")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="bad process"):
+        env.run()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 17
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_yield_foreign_event_raises():
+    env1, env2 = Environment(), Environment()
+
+    def bad(env, other):
+        yield other.timeout(1)
+
+    env1.process(bad(env1, env2))
+    with pytest.raises(SimulationError, match="another environment"):
+        env1.run()
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    trace = []
+
+    def proc(env):
+        t = env.timeout(1)
+        yield env.timeout(5)  # t fires and is processed long before this
+        v = yield t  # must resume without deadlock at the same time
+        trace.append((env.now, v))
+
+    env.process(proc(env))
+    env.run()
+    assert trace == [(5, None)]
+
+
+def test_interrupt_wakes_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            log.append("no-interrupt")
+        except Interrupt as intr:
+            log.append(("interrupted", env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt(cause="deadline")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 3, "deadline")]
+
+
+def test_interrupt_then_continue():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(1)
+        log.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [3]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def suicidal(env, handle):
+        yield env.timeout(0)
+        handle[0].interrupt()
+
+    handle = [None]
+    handle[0] = env.process(suicidal(env, handle))
+    with pytest.raises(SimulationError, match="cannot interrupt itself"):
+        env.run()
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(4, "b")
+        result = yield env.all_of([t1, t2])
+        got.append((env.now, sorted(result.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert got == [(4, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        t1, t2 = env.timeout(1, "fast"), env.timeout(4, "slow")
+        result = yield env.any_of([t1, t2])
+        got.append((env.now, list(result.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert got == [(1, ["fast"])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        result = yield env.all_of([])
+        got.append((env.now, result))
+
+    env.process(proc(env))
+    env.run()
+    assert got == [(0, {})]
+
+
+def test_step_with_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7)
+    assert env.peek() == 7
+
+
+def test_many_processes_complete():
+    env = Environment()
+    done = []
+
+    def proc(env, i):
+        yield env.timeout(i % 10 + 1)
+        done.append(i)
+
+    for i in range(500):
+        env.process(proc(env, i))
+    env.run()
+    assert len(done) == 500
+
+
+def test_process_name_defaults():
+    env = Environment()
+
+    def my_generator(env):
+        yield env.timeout(1)
+
+    p = env.process(my_generator(env), name="worker-1")
+    assert p.name == "worker-1"
+    env.run()

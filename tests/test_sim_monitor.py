@@ -1,0 +1,127 @@
+"""Unit tests for repro.sim.monitor."""
+
+import pytest
+
+from repro.sim import Environment, Monitor
+
+
+def test_counter_add():
+    env = Environment()
+    mon = Monitor(env)
+    c = mon.counter("ios")
+    c.add()
+    c.add(5)
+    assert c.value == 6
+    assert mon.counter("ios") is c  # registry caches
+
+
+def test_gauge_time_weighted_mean():
+    env = Environment()
+    mon = Monitor(env)
+    g = mon.gauge("depth")
+
+    def proc(env):
+        g.set(10)
+        yield env.timeout(1)
+        g.set(0)
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run()
+    assert g.mean() == pytest.approx(5.0)
+    assert g.peak == 10
+    assert g.level == 0
+
+
+def test_gauge_add_delta():
+    env = Environment()
+    mon = Monitor(env)
+    g = mon.gauge("q", initial=2)
+    g.add(3)
+    assert g.level == 5
+    g.add(-5)
+    assert g.level == 0
+
+
+def test_rate_meter_reports_rates():
+    env = Environment()
+    mon = Monitor(env)
+    r = mon.rate("io")
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(0.1)
+            r.record(nbytes=4096)
+
+    env.process(proc(env))
+    env.run()
+    assert r.ops == 10
+    assert r.ops_per_sec() == pytest.approx(10.0)
+    assert r.bytes_per_sec() == pytest.approx(40960.0)
+
+
+def test_rate_meter_reset_starts_new_window():
+    env = Environment()
+    mon = Monitor(env)
+    r = mon.rate("io")
+
+    def proc(env):
+        r.record()
+        yield env.timeout(1)
+        r.reset()
+        for _ in range(4):
+            yield env.timeout(0.5)
+            r.record()
+
+    env.process(proc(env))
+    env.run()
+    assert r.ops == 4
+    assert r.ops_per_sec() == pytest.approx(2.0)
+
+
+def test_rate_meter_zero_window():
+    env = Environment()
+    mon = Monitor(env)
+    r = mon.rate("io")
+    assert r.ops_per_sec() == 0.0
+    assert r.bytes_per_sec() == 0.0
+
+
+def test_latency_recorder_summary():
+    env = Environment()
+    mon = Monitor(env)
+    rec = mon.latency("lat")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        rec.record(v)
+    s = rec.summary()
+    assert s["count"] == 4
+    assert s["mean"] == pytest.approx(2.5)
+    assert s["max"] == 4.0
+    assert s["p50"] == pytest.approx(2.5)
+
+
+def test_latency_recorder_empty_summary():
+    env = Environment()
+    rec = Monitor(env).latency("lat")
+    s = rec.summary()
+    assert s["count"] == 0
+    assert s["mean"] == 0.0
+
+
+def test_latency_recorder_disabled():
+    env = Environment()
+    rec = Monitor(env).latency("lat", enabled=False)
+    rec.record(1.0)
+    assert len(rec) == 0
+
+
+def test_monitor_reset_rates_clears_latencies_too():
+    env = Environment()
+    mon = Monitor(env)
+    r = mon.rate("io")
+    rec = mon.latency("lat")
+    r.record()
+    rec.record(0.5)
+    mon.reset_rates()
+    assert r.ops == 0
+    assert len(rec) == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the event tracer."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def busy_sim(env, n=5):
+    def worker(env, i):
+        yield env.timeout(i + 1)
+        yield env.timeout(0.5)
+
+    for i in range(n):
+        env.process(worker(env, i), name=f"w{i}")
+
+
+def test_tracer_records_events():
+    env = Environment()
+    tracer = Tracer(env)
+    busy_sim(env)
+    env.run()
+    assert tracer.events_seen > 0
+    assert len(tracer.records) == tracer.events_seen
+    kinds = {r.kind for r in tracer.records}
+    assert "Timeout" in kinds and "Process" in kinds
+
+
+def test_tracer_capacity_bounds_memory():
+    env = Environment()
+    tracer = Tracer(env, capacity=5)
+    busy_sim(env, n=10)
+    env.run()
+    assert len(tracer.records) == 5
+    assert tracer.events_seen > 5
+
+
+def test_tracer_predicate_filters():
+    env = Environment()
+    tracer = Tracer(env, predicate=lambda r: r.name == "w1")
+    busy_sim(env)
+    env.run()
+    assert tracer.records
+    assert all(r.name == "w1" for r in tracer.records)
+
+
+def test_tracer_between():
+    env = Environment()
+    tracer = Tracer(env)
+    busy_sim(env)
+    env.run()
+    window = tracer.between(1.0, 2.0)
+    assert window
+    assert all(1.0 <= r.t < 2.0 for r in window)
+
+
+def test_tracer_render():
+    env = Environment()
+    tracer = Tracer(env)
+    busy_sim(env, n=2)
+    env.run()
+    text = tracer.render(last=3)
+    assert text.startswith("trace:")
+    assert len(text.splitlines()) == 4
+
+
+def test_tracer_detach_and_context_manager():
+    env = Environment()
+    with Tracer(env) as tracer:
+        busy_sim(env, n=1)
+        env.run()
+        seen = tracer.events_seen
+    # Detached: further events are not recorded.
+    busy_sim(env, n=1)
+    env.run()
+    assert tracer.events_seen == seen
+    assert env._trace_hook is None
+
+
+def test_single_tracer_per_environment():
+    env = Environment()
+    Tracer(env)
+    with pytest.raises(RuntimeError, match="already has a tracer"):
+        Tracer(env)
+
+
+def test_tracer_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Tracer(env, capacity=0)
+
+
+def test_record_str():
+    r = TraceRecord(t=1e-6, kind="Timeout", name=None, ok=True)
+    assert "Timeout" in str(r)
+    rf = TraceRecord(t=0.0, kind="Process", name="p", ok=False)
+    assert "FAILED" in str(rf) and "p" in str(rf)
+
+
+def test_tracer_clear():
+    env = Environment()
+    tracer = Tracer(env)
+    busy_sim(env, n=2)
+    env.run()
+    tracer.clear()
+    assert len(tracer.records) == 0
+    assert tracer.events_seen > 0
