@@ -10,7 +10,7 @@ randwrite} for 1 and 4 NVMe SSDs, and checks the paper's stated ceilings:
 """
 
 import pytest
-from conftest import CellCache, write_report
+from conftest import CellCache, cells_payload, write_report
 
 from repro.bench.calibration import PAPER_BANDS, describe_band
 from repro.bench.report import render_series
@@ -94,7 +94,9 @@ def test_fig3_report(benchmark, results_dir):
                  f"~independent of drive count ({iops_ratio:.2f}x)")
 
     text = "\n\n".join(sections) + "\n\nPaper-vs-measured:\n" + "\n".join(lines)
-    write_report(results_dir, "fig3_local_fio.txt", text)
+    write_report(results_dir, "fig3_local_fio.txt", text,
+                 payload={"cells": cells_payload(
+                     CACHE, ["n_ssds", "rw", "bs", "jobs"])})
     print("\n" + text)
     for k, v in checks:
         assert PAPER_BANDS[k].holds(v), describe_band(PAPER_BANDS[k], v)

@@ -12,7 +12,7 @@ stated shapes:
 """
 
 import pytest
-from conftest import CellCache, write_report
+from conftest import CellCache, cells_payload, write_report
 
 from repro.bench.calibration import PAPER_BANDS, describe_band
 from repro.bench.report import format_heatmap
@@ -106,7 +106,9 @@ def test_fig4_report(benchmark, results_dir):
     )
 
     text = "\n\n".join(sections) + "\n\nPaper-vs-measured:\n" + "\n".join(lines)
-    write_report(results_dir, "fig4_remote_spdk.txt", text)
+    write_report(results_dir, "fig4_remote_spdk.txt", text,
+                 payload={"cells": cells_payload(
+                     CACHE, ["provider", "rw", "bs", "client_cores", "server_cores"])})
     print("\n" + text)
     for k, v in checks:
         assert PAPER_BANDS[k].holds(v), describe_band(PAPER_BANDS[k], v)

@@ -15,7 +15,7 @@ Stated shapes checked:
 """
 
 import pytest
-from conftest import CellCache, write_report
+from conftest import CellCache, cells_payload, write_report
 
 from repro.bench.calibration import PAPER_BANDS, describe_band
 from repro.bench.report import Table
@@ -113,7 +113,9 @@ def test_fig5_report(benchmark, results_dir):
     lines = [describe_band(PAPER_BANDS[k], v) for k, v in checks]
 
     text = "\n\n".join(sections) + "\n\nPaper-vs-measured:\n" + "\n".join(lines)
-    write_report(results_dir, "fig5_dfs_offload.txt", text)
+    write_report(results_dir, "fig5_dfs_offload.txt", text,
+                 payload={"cells": cells_payload(
+                     CACHE, ["provider", "client", "rw", "bs", "n_ssds", "numjobs"])})
     print("\n" + text)
     for k, v in checks:
         assert PAPER_BANDS[k].holds(v), describe_band(PAPER_BANDS[k], v)

@@ -4,13 +4,17 @@ Each bench module accumulates its sweep cells in a module-level cache (the
 parametrized benchmark tests fill it; the final ``*_report`` test renders
 the figure table from it, computing any missing cells on demand so the
 report test also works standalone).  Rendered tables land in
-``benchmarks/results/`` and feed EXPERIMENTS.md.
+``benchmarks/results/`` and feed EXPERIMENTS.md; passing ``payload`` to
+:func:`write_report` additionally drops a machine-readable ``.json``
+sibling next to the ``.txt`` so sweeps can be diffed and plotted without
+re-parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Sequence
 
 import pytest
 
@@ -36,13 +40,44 @@ class CellCache:
             result = self._cells[key] = fn()
         return result
 
+    def items(self):
+        """``(key, result)`` pairs for every computed cell."""
+        return self._cells.items()
+
     def __len__(self) -> int:
         return len(self._cells)
 
 
-def write_report(results_dir: str, name: str, text: str) -> str:
-    """Persist one rendered figure report and return its path."""
+def cells_payload(cache: CellCache, key_names: Sequence[str]) -> list:
+    """Serialize a cell cache: one record per cell, key fields + result.
+
+    Results exposing ``to_dict()`` (e.g. ``FioResult``) are expanded;
+    anything else is stored as-is (must be JSON-serialisable).
+    """
+    rows = []
+    for key, result in sorted(cache.items(), key=lambda kv: repr(kv[0])):
+        row = dict(zip(key_names, key))
+        to_dict = getattr(result, "to_dict", None)
+        row["result"] = to_dict() if callable(to_dict) else result
+        rows.append(row)
+    return rows
+
+
+def write_report(results_dir: str, name: str, text: str,
+                 payload: Optional[dict] = None) -> str:
+    """Persist one rendered figure report and return its path.
+
+    With ``payload`` a machine-readable ``<stem>.json`` sibling is written
+    alongside the text table (format tag ``repro-bench-v1``).
+    """
     path = os.path.join(results_dir, name)
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    if payload is not None:
+        stem = os.path.splitext(name)[0]
+        doc = {"format": "repro-bench-v1", "name": stem}
+        doc.update(payload)
+        with open(os.path.join(results_dir, stem + ".json"), "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return path

@@ -6,10 +6,14 @@ writing code::
     python -m repro.bench.cli fig3 --rw read --bs 1m --jobs 4 --ssds 4
     python -m repro.bench.cli fig4 --provider ucx+rc --bs 4k --client-cores 4 --server-cores 4
     python -m repro.bench.cli fig5 --transport rdma --client dpu --rw randread --bs 4k --jobs 16
+    python -m repro.bench.cli trace --transport tcp --client dpu --rw randread --bs 4k
     python -m repro.bench.cli providers
 
 Sizes accept ``4k``/``1m`` suffixes.  Output is one line per run in the
-paper's units (GiB/s for >=64 KiB blocks, K IOPS otherwise).
+paper's units (GiB/s for >=64 KiB blocks, K IOPS otherwise).  ``trace``
+additionally prints the per-stage latency breakdown and one request's
+critical path; ``--telemetry`` (fig5/trace) appends the system utilization
+snapshot, ``--json`` (trace) emits everything machine-readable instead.
 """
 
 from __future__ import annotations
@@ -18,7 +22,12 @@ import argparse
 import sys
 from typing import Optional
 
-from repro.bench.runner import run_fig3_cell, run_fig4_cell, run_fig5_cell
+from repro.bench.runner import (
+    run_fig3_cell,
+    run_fig4_cell,
+    run_fig5_cell,
+    run_fig5_traced,
+)
 from repro.net.fabric import list_providers
 from repro.workload.fio import FioResult
 
@@ -77,9 +86,85 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--jobs", type=int, default=8)
     p5.add_argument("--ssds", type=int, default=1, choices=[1, 2, 3, 4])
     p5.add_argument("--runtime", type=float, default=None)
+    p5.add_argument("--telemetry", action="store_true",
+                    help="print the system utilization snapshot after the run")
+
+    pt = sub.add_parser(
+        "trace",
+        help="end-to-end DFS run with request tracing: per-stage breakdown",
+    )
+    pt.add_argument("--transport", default="tcp")
+    pt.add_argument("--client", default="dpu", choices=["host", "dpu"])
+    pt.add_argument("--rw", default="randread",
+                    choices=["read", "write", "randread", "randwrite"])
+    pt.add_argument("--bs", type=parse_size, default=4096)
+    pt.add_argument("--jobs", type=int, default=None,
+                    help="FIO numjobs (default: 8 for >=1 MiB blocks, 16 below)")
+    pt.add_argument("--ssds", type=int, default=1, choices=[1, 2, 3, 4])
+    pt.add_argument("--runtime", type=float, default=None)
+    pt.add_argument("--sample", type=int, default=20,
+                    help="trace 1 in N operations (default 20)")
+    pt.add_argument("--telemetry", action="store_true",
+                    help="print the system utilization snapshot too")
+    pt.add_argument("--json", action="store_true",
+                    help="emit the run, breakdown and telemetry as JSON")
 
     sub.add_parser("providers", help="list fabric providers")
     return parser
+
+
+def _run_trace(args) -> int:
+    from repro.sim.spans import LatencyBreakdown, critical_path
+
+    numjobs = args.jobs
+    if numjobs is None:
+        numjobs = 8 if args.bs >= 1024**2 else 16
+    result, collector, system = run_fig5_traced(
+        args.transport, args.client, args.rw, args.bs, numjobs,
+        n_ssds=args.ssds, runtime=args.runtime, sample_every=args.sample,
+    )
+    breakdown = LatencyBreakdown(collector.spans)
+    label = (f"trace {args.transport}/{args.client} {args.rw} bs={args.bs} "
+             f"jobs={numjobs} ssds={args.ssds}")
+
+    if args.json:
+        import json
+
+        from repro.core.telemetry import snapshot
+
+        doc = {
+            "format": "repro-trace-v1",
+            "label": label,
+            "result": result.to_dict(),
+            "breakdown": breakdown.to_dict(),
+            "traces_sampled": collector.traces_started,
+            "requests_seen": collector.requests_seen,
+        }
+        if args.telemetry:
+            doc["telemetry"] = snapshot(system).to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{label}: {_report(result)}")
+    print(f"sampled {collector.traces_started} of {collector.requests_seen} "
+          f"requests (1 in {args.sample})\n")
+    print(breakdown.table(f"Latency breakdown — {args.transport}/{args.client} "
+                          f"{args.rw} bs={args.bs}"))
+    by_trace = collector.by_trace()
+    if by_trace:
+        # Show the critical path of the slowest sampled request.
+        def root_dur(spans):
+            roots = [s for s in spans if s.parent_id is None]
+            return roots[0].duration if roots else 0.0
+        tid = max(by_trace, key=lambda t: root_dur(by_trace[t]))
+        print(f"\nCritical path (slowest sampled request, trace {tid}):")
+        for s in critical_path(by_trace[tid]):
+            print(f"  {s.stage:32s} {s.duration * 1e6:10.3f} us")
+    if args.telemetry:
+        from repro.core.telemetry import snapshot
+
+        print("\n" + snapshot(system).render())
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -89,6 +174,9 @@ def main(argv: Optional[list] = None) -> int:
         for name in list_providers():
             print(name)
         return 0
+
+    if args.experiment == "trace":
+        return _run_trace(args)
 
     if args.experiment == "fig3":
         result = run_fig3_cell(args.rw, args.bs, args.jobs, n_ssds=args.ssds,
@@ -101,12 +189,26 @@ def main(argv: Optional[list] = None) -> int:
         label = (f"fig4 {args.provider} {args.rw} bs={args.bs} "
                  f"c={args.client_cores} s={args.server_cores}")
     else:
-        result = run_fig5_cell(args.transport, args.client, args.rw, args.bs,
-                               args.jobs, n_ssds=args.ssds, runtime=args.runtime)
+        if args.telemetry:
+            # Keep the system around so we can snapshot its utilization.
+            from repro.bench.runner import _build_fig5, run_ros2_fio
+            from repro.core.telemetry import snapshot
+
+            system, spec = _build_fig5(args.transport, args.client, args.rw,
+                                       args.bs, args.jobs, n_ssds=args.ssds,
+                                       runtime=args.runtime)
+            result = run_ros2_fio(system, spec)
+        else:
+            system = None
+            result = run_fig5_cell(args.transport, args.client, args.rw,
+                                   args.bs, args.jobs, n_ssds=args.ssds,
+                                   runtime=args.runtime)
         label = (f"fig5 {args.transport}/{args.client} {args.rw} bs={args.bs} "
                  f"jobs={args.jobs} ssds={args.ssds}")
 
     print(f"{label}: {_report(result)}")
+    if args.experiment == "fig5" and args.telemetry and system is not None:
+        print("\n" + snapshot(system).render())
     return 0
 
 

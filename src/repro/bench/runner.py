@@ -16,13 +16,13 @@ testbed.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core import Ros2Config, Ros2System
 from repro.hw.platform import make_paper_testbed
 from repro.hw.specs import MIB
 from repro.net import Fabric
-from repro.sim import Environment
+from repro.sim import Environment, SpanCollector
 from repro.storage import BlockDevice, IoUringEngine, NvmfInitiator, NvmfTarget
 from repro.workload.fio import FioJobSpec, FioResult, run_fio
 
@@ -30,6 +30,7 @@ __all__ = [
     "run_fig3_cell",
     "run_fig4_cell",
     "run_fig5_cell",
+    "run_fig5_traced",
     "run_ros2_fio",
     "default_iodepth",
 ]
@@ -52,6 +53,7 @@ def run_fig3_cell(
     n_ssds: int = 1,
     iodepth: Optional[int] = None,
     runtime: float = 0.03,
+    collector: Optional[SpanCollector] = None,
 ) -> FioResult:
     """One point of Fig. 3: local FIO with the IO_URING engine."""
     env = Environment()
@@ -63,7 +65,7 @@ def run_fig3_cell(
         runtime=runtime, ramp_time=runtime / 4,
         size=512 * MIB,
     )
-    return run_fio(env, engine, spec)
+    return run_fio(env, engine, spec, collector=collector)
 
 
 # ---------------------------------------------------------------------------
@@ -85,8 +87,9 @@ class _MultiQpAdapter:
         self._owner[id(ctx)] = init
         return ctx
 
-    def submit(self, ctx, offset, nbytes, is_write):
-        return self._owner[id(ctx)].submit(ctx, offset, nbytes, is_write)
+    def submit(self, ctx, offset, nbytes, is_write, trace=None):
+        return self._owner[id(ctx)].submit(ctx, offset, nbytes, is_write,
+                                           trace=trace)
 
 
 def run_fig4_cell(
@@ -98,6 +101,7 @@ def run_fig4_cell(
     n_ssds: int = 1,
     iodepth: int = 32,
     runtime: float = 0.03,
+    collector: Optional[SpanCollector] = None,
 ) -> FioResult:
     """One heatmap cell of Fig. 4: remote SPDK, pinned core counts.
 
@@ -123,7 +127,7 @@ def run_fig4_cell(
         rw=rw, bs=bs, numjobs=client_cores, iodepth=iodepth,
         runtime=runtime, ramp_time=runtime / 4, size=512 * MIB,
     )
-    return run_fio(env, adapter, spec)
+    return run_fio(env, adapter, spec, collector=collector)
 
 
 # ---------------------------------------------------------------------------
@@ -150,11 +154,11 @@ class _MultiSessionAdapter:
         self._owner[id(ctx)] = (port, fh)
         return ctx
 
-    def submit(self, ctx, offset, nbytes, is_write):
+    def submit(self, ctx, offset, nbytes, is_write, trace=None):
         port, fh = self._owner[id(ctx)]
         if is_write:
-            return port.write(ctx, fh, offset, nbytes=nbytes)
-        return port.read(ctx, fh, offset, nbytes)
+            return port.write(ctx, fh, offset, nbytes=nbytes, trace=trace)
+        return port.read(ctx, fh, offset, nbytes, trace=trace)
 
 
 def run_ros2_fio(
@@ -164,6 +168,7 @@ def run_ros2_fio(
     prefill: Optional[bool] = None,
     tenant_policy: Optional[dict] = None,
     sessions_per_job: bool = True,
+    collector: Optional[SpanCollector] = None,
 ) -> FioResult:
     """Bootstrap ``system``, create the test file, pre-fill it for read
     workloads, and drive ``spec`` through ROS2 data ports.
@@ -212,10 +217,10 @@ def run_ros2_fio(
     env.run(until=p)
     ports = p.value
     adapter = _MultiSessionAdapter(ports)
-    return run_fio(env, adapter, spec)
+    return run_fio(env, adapter, spec, collector=collector)
 
 
-def run_fig5_cell(
+def _build_fig5(
     provider: str,
     client: str,
     rw: str,
@@ -224,13 +229,8 @@ def run_fig5_cell(
     n_ssds: int = 1,
     iodepth: Optional[int] = None,
     runtime: Optional[float] = None,
-) -> FioResult:
-    """One point of Fig. 5: FIO/DFS end-to-end on the assembled ROS2 stack.
-
-    Large-block runs need a longer measured window: under the DPU's deep
-    RX queues, per-I/O latency reaches milliseconds and a too-short window
-    under-reports steady-state throughput.
-    """
+) -> Tuple[Ros2System, FioJobSpec]:
+    """Assemble the Fig. 5 testbed (fresh environment) and its FIO spec."""
     env = Environment()
     system = Ros2System(env, Ros2Config(
         transport=provider, client=client, n_ssds=n_ssds, data_mode=False,
@@ -243,4 +243,50 @@ def run_fig5_cell(
         iodepth=iodepth or default_iodepth(bs),
         runtime=runtime, ramp_time=runtime / 3, size=size,
     )
-    return run_ros2_fio(system, spec)
+    return system, spec
+
+
+def run_fig5_cell(
+    provider: str,
+    client: str,
+    rw: str,
+    bs: int,
+    numjobs: int,
+    n_ssds: int = 1,
+    iodepth: Optional[int] = None,
+    runtime: Optional[float] = None,
+    collector: Optional[SpanCollector] = None,
+) -> FioResult:
+    """One point of Fig. 5: FIO/DFS end-to-end on the assembled ROS2 stack.
+
+    Large-block runs need a longer measured window: under the DPU's deep
+    RX queues, per-I/O latency reaches milliseconds and a too-short window
+    under-reports steady-state throughput.
+    """
+    system, spec = _build_fig5(provider, client, rw, bs, numjobs,
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+    return run_ros2_fio(system, spec, collector=collector)
+
+
+def run_fig5_traced(
+    provider: str,
+    client: str,
+    rw: str,
+    bs: int,
+    numjobs: int,
+    n_ssds: int = 1,
+    iodepth: Optional[int] = None,
+    runtime: Optional[float] = None,
+    sample_every: int = 1,
+) -> Tuple[FioResult, SpanCollector, Ros2System]:
+    """A Fig. 5 cell with request tracing attached.
+
+    Returns ``(result, collector, system)`` so the caller can render the
+    per-stage latency breakdown, extract critical paths, and snapshot the
+    system telemetry of the very run that produced the numbers.
+    """
+    system, spec = _build_fig5(provider, client, rw, bs, numjobs,
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+    collector = SpanCollector(system.env, sample_every=sample_every)
+    result = run_ros2_fio(system, spec, collector=collector)
+    return result, collector, system

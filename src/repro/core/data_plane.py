@@ -54,7 +54,7 @@ class DataPlane:
         """Whether the bound provider is a verbs family."""
         return self.provider.family == "rdma"
 
-    def stage(self, nbytes: int) -> Generator[Event, None, Allocation]:
+    def stage(self, nbytes: int, trace=None) -> Generator[Event, None, Allocation]:
         """Reserve DPU DRAM for one in-flight payload (``yield from``).
 
         Blocks when the staging budget is exhausted — the back-pressure a
@@ -66,8 +66,13 @@ class DataPlane:
             raise MemoryError(
                 f"payload of {nbytes} bytes exceeds staging budget {self.budget}"
             )
+        span = None
+        if trace is not None:
+            span = trace.child("dp.stage", node=self.node.name, nbytes=nbytes)
         alloc = yield from self._pool.alloc(nbytes)
         self.staged.set(self._pool.used_bytes)
+        if span is not None:
+            span.finish()
         return alloc
 
     def release(self, alloc: Allocation) -> None:

@@ -241,6 +241,7 @@ class Ros2ClientService:
         offset: int,
         nbytes: Optional[int] = None,
         data: Optional[bytes] = None,
+        trace=None,
     ) -> Generator[Event, None, None]:
         """One data-plane write: admit -> schedule -> stage -> (encrypt) -> DFS."""
         state = self._state_for_io(session_id, fh)
@@ -248,14 +249,25 @@ class Ros2ClientService:
             if data is None:
                 raise ValueError("io_write needs data or an explicit nbytes")
             nbytes = len(data)
+        node = self.node.name
+        span = trace.child("dp.admit", node=node, nbytes=nbytes) if trace is not None else None
         yield from self.tenants.admit(state.tenant, nbytes)
+        if span is not None:
+            span.finish()
         if self.qos is not None:
+            span = trace.child("dp.qos", node=node, nbytes=nbytes) if trace is not None else None
             yield from self.qos.submit(state.tenant.name, nbytes)
-        alloc = yield from self.data_plane.stage(nbytes)
+            if span is not None:
+                span.finish()
+        alloc = yield from self.data_plane.stage(nbytes, trace=trace)
         try:
             if state.crypto is not None:
+                span = trace.child("dp.crypto", node=node, nbytes=nbytes) if trace is not None else None
                 data = yield from state.crypto.crypt(ctx, offset, data, nbytes)
-            yield from state.files[fh].write(ctx, offset, nbytes=nbytes, data=data)
+                if span is not None:
+                    span.finish()
+            yield from state.files[fh].write(ctx, offset, nbytes=nbytes, data=data,
+                                             trace=trace)
         finally:
             self.data_plane.release(alloc)
         self.data_plane.record_write(nbytes)
@@ -267,17 +279,28 @@ class Ros2ClientService:
         fh: int,
         offset: int,
         nbytes: int,
+        trace=None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """One data-plane read: admit -> schedule -> stage -> DFS -> (decrypt)."""
         state = self._state_for_io(session_id, fh)
+        node = self.node.name
+        span = trace.child("dp.admit", node=node, nbytes=nbytes) if trace is not None else None
         yield from self.tenants.admit(state.tenant, nbytes)
+        if span is not None:
+            span.finish()
         if self.qos is not None:
+            span = trace.child("dp.qos", node=node, nbytes=nbytes) if trace is not None else None
             yield from self.qos.submit(state.tenant.name, nbytes)
-        alloc = yield from self.data_plane.stage(nbytes)
+            if span is not None:
+                span.finish()
+        alloc = yield from self.data_plane.stage(nbytes, trace=trace)
         try:
-            data = yield from state.files[fh].read(ctx, offset, nbytes)
+            data = yield from state.files[fh].read(ctx, offset, nbytes, trace=trace)
             if state.crypto is not None:
+                span = trace.child("dp.crypto", node=node, nbytes=nbytes) if trace is not None else None
                 data = yield from state.crypto.crypt(ctx, offset, data, nbytes)
+                if span is not None:
+                    span.finish()
         finally:
             self.data_plane.release(alloc)
         self.data_plane.record_read(nbytes)
@@ -306,13 +329,15 @@ class Ros2DataPort:
             factor=node.spec.cycle_factor,
         )
 
-    def write(self, ctx, fh, offset, nbytes=None, data=None):
+    def write(self, ctx, fh, offset, nbytes=None, data=None, trace=None):
         """POSIX pwrite through the offloaded client."""
-        return self.service.io_write(ctx, self.session_id, fh, offset, nbytes, data)
+        return self.service.io_write(ctx, self.session_id, fh, offset, nbytes, data,
+                                     trace=trace)
 
-    def read(self, ctx, fh, offset, nbytes):
+    def read(self, ctx, fh, offset, nbytes, trace=None):
         """POSIX pread through the offloaded client."""
-        return self.service.io_read(ctx, self.session_id, fh, offset, nbytes)
+        return self.service.io_read(ctx, self.session_id, fh, offset, nbytes,
+                                    trace=trace)
 
 
 class Ros2Session:

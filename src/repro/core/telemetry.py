@@ -10,7 +10,8 @@ diagnosing bottlenecks, packaged as a public API (and a printable table).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
 from repro.bench.report import Table
@@ -70,6 +71,16 @@ class SystemReport:
         if not candidates:
             return "idle"
         return max(candidates)[1]
+
+    def to_dict(self) -> dict:
+        """The whole snapshot as plain dicts/lists (JSON-serialisable)."""
+        d = asdict(self)
+        d["busiest_component"] = self.busiest_component()
+        return d
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document (machine-readable telemetry)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render(self) -> str:
         """A printable multi-table report."""

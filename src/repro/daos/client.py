@@ -68,13 +68,22 @@ class DaosClient:
         )
 
     # -- cost plumbing -------------------------------------------------------------
-    def _pre(self, ctx: JobThread):
+    def _pre(self, ctx: JobThread, trace=None):
+        span = trace.child("client_submit", node=self.node.name) if trace is not None else None
         yield ctx.run(self.costs.submit_cpu_per_op)
+        if span is not None:
+            span.finish()
         if self.costs.serial_per_op:
+            span = trace.child("client_progress", node=self.node.name) if trace is not None else None
             yield self._progress.enter(self.costs.serial_per_op)
+            if span is not None:
+                span.finish()
 
-    def _post(self, ctx: JobThread):
+    def _post(self, ctx: JobThread, trace=None):
+        span = trace.child("client_complete", node=self.node.name) if trace is not None else None
         yield ctx.run(self.costs.complete_cpu_per_op)
+        if span is not None:
+            span.finish()
 
     def call(
         self, ctx: JobThread, opcode: str, args: Dict[str, Any]
@@ -178,6 +187,7 @@ class ObjectHandle:
         nbytes: Optional[int] = None,
         data: Optional[bytes] = None,
         epoch: Optional[int] = None,
+        trace=None,
     ) -> Generator[Event, None, int]:
         """Write one extent; returns the commit epoch."""
         if nbytes is None:
@@ -185,7 +195,7 @@ class ObjectHandle:
                 raise DaosError("update needs data or an explicit nbytes")
             nbytes = len(data)
         client = self.client
-        yield from client._pre(ctx)
+        yield from client._pre(ctx, trace=trace)
 
         args = self._base_args()
         args.update(dkey=bytes(dkey), akey=bytes(akey), offset=offset, nbytes=nbytes)
@@ -209,8 +219,9 @@ class ObjectHandle:
 
         # Inline payloads ride the request capsule on the wire.
         req_nbytes = 220 + (nbytes if window is None else 0)
-        result = yield from client.rpc.call("obj_update", args, req_nbytes=req_nbytes)
-        yield from client._post(ctx)
+        result = yield from client.rpc.call("obj_update", args, req_nbytes=req_nbytes,
+                                            trace=trace)
+        yield from client._post(ctx, trace=trace)
         if window is not None and client.data_mode:
             client.channel.deregister(window)
         return result["epoch"]
@@ -223,10 +234,11 @@ class ObjectHandle:
         offset: int,
         nbytes: int,
         epoch: Optional[int] = None,
+        trace=None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """Read a range at ``epoch`` (None = latest committed)."""
         client = self.client
-        yield from client._pre(ctx)
+        yield from client._pre(ctx, trace=trace)
 
         args = self._base_args()
         args.update(dkey=bytes(dkey), akey=bytes(akey), offset=offset, nbytes=nbytes)
@@ -243,8 +255,8 @@ class ObjectHandle:
                 window = client._window
             args["region"] = window
 
-        result = yield from client.rpc.call("obj_fetch", args)
-        yield from client._post(ctx)
+        result = yield from client.rpc.call("obj_fetch", args, trace=trace)
+        yield from client._post(ctx, trace=trace)
         if window is not None and client.data_mode:
             client.channel.deregister(window)
             return bytes(buf)

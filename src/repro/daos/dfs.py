@@ -79,6 +79,7 @@ class DfsFile:
         offset: int,
         nbytes: Optional[int] = None,
         data: Optional[bytes] = None,
+        trace=None,
     ) -> Generator[Event, None, None]:
         """POSIX pwrite; chunk pieces proceed in parallel."""
         if nbytes is None:
@@ -91,7 +92,8 @@ class DfsFile:
             idx, in_off, take = pieces[0]
             piece = data[:take] if data is not None else None
             yield from self._obj.update(
-                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, nbytes=take, data=piece
+                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, nbytes=take, data=piece,
+                trace=trace,
             )
             return
         procs = []
@@ -99,7 +101,8 @@ class DfsFile:
         for idx, in_off, take in pieces:
             piece = data[consumed:consumed + take] if data is not None else None
             procs.append(env.process(self._obj.update(
-                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, nbytes=take, data=piece
+                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, nbytes=take, data=piece,
+                trace=trace,
             )))
             consumed += take
         yield env.all_of(procs)
@@ -110,6 +113,7 @@ class DfsFile:
         offset: int,
         nbytes: int,
         epoch: Optional[int] = None,
+        trace=None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """POSIX pread; returns bytes in data mode, None otherwise."""
         pieces = self._split(offset, nbytes)
@@ -117,11 +121,13 @@ class DfsFile:
         if len(pieces) == 1:
             idx, in_off, take = pieces[0]
             return (yield from self._obj.fetch(
-                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, take, epoch=epoch
+                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, take, epoch=epoch,
+                trace=trace,
             ))
         procs = [
             env.process(self._obj.fetch(
-                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, take, epoch=epoch
+                ctx, _chunk_dkey(idx), _DATA_AKEY, in_off, take, epoch=epoch,
+                trace=trace,
             ))
             for idx, in_off, take in pieces
         ]

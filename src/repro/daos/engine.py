@@ -379,26 +379,31 @@ class DaosEngine:
         elif epoch <= 0:
             raise DaosError(f"bad epoch {epoch}")
 
+        trace = args.get("_trace")
         if oid.oclass is ObjectClass.EC2P1:
             result = yield from self._ec_update(
                 channel, cid, oid, dkey, akey, epoch, offset, nbytes,
-                region, data,
+                region, data, trace=trace,
             )
             return result
 
         replicas = self.live_replicas(oid, dkey)
+        span = trace.child("engine.xstream", node=self.node.name, nbytes=nbytes) if trace is not None else None
         yield replicas[0].xstream.run(
             ENGINE_CPU_PER_OP + ENGINE_CPU_PER_BYTE * nbytes
         )
+        if span is not None:
+            span.finish()
         if region is not None and nbytes > INLINE_THRESHOLD:
             # Bulk pull from the client window (one-sided on verbs), once;
             # replicas share the payload server-side.
-            data = yield from channel.rma_read(self.node.name, region, nbytes)
+            data = yield from channel.rma_read(self.node.name, region, nbytes,
+                                               trace=trace)
         eff = self._media_eff(channel)
         if len(replicas) == 1:
             yield from replicas[0].vos.update(
                 cid, oid, dkey, akey, epoch, offset, nbytes, data=data,
-                bw_efficiency=eff,
+                bw_efficiency=eff, trace=trace,
             )
         else:
             # Replicated write: all replicas persist in parallel; the
@@ -409,7 +414,7 @@ class DaosEngine:
                     yield target.xstream.run(ENGINE_CPU_PER_OP)
                 writes.append(self.env.process(target.vos.update(
                     cid, oid, dkey, akey, epoch, offset, nbytes, data=data,
-                    bw_efficiency=eff,
+                    bw_efficiency=eff, trace=trace,
                 )))
             yield self.env.all_of(writes)
         return {"epoch": epoch}
@@ -425,25 +430,30 @@ class DaosEngine:
         if epoch is None:
             epoch = cont.epoch
 
+        trace = args.get("_trace")
         if oid.oclass is ObjectClass.EC2P1:
             result = yield from self._ec_fetch(
-                channel, cid, oid, dkey, akey, epoch, offset, nbytes, region
+                channel, cid, oid, dkey, akey, epoch, offset, nbytes, region,
+                trace=trace,
             )
             return result
 
         # Served by the first live replica (primary unless failed over).
         target = self.live_replicas(oid, dkey)[0]
+        span = trace.child("engine.xstream", node=self.node.name, nbytes=nbytes) if trace is not None else None
         yield target.xstream.run(
             ENGINE_CPU_PER_OP + ENGINE_CPU_PER_BYTE * nbytes
         )
+        if span is not None:
+            span.finish()
         data = yield from target.vos.fetch(
             cid, oid, dkey, akey, epoch, offset, nbytes,
-            bw_efficiency=self._media_eff(channel),
+            bw_efficiency=self._media_eff(channel), trace=trace,
         )
         if region is not None and nbytes > INLINE_THRESHOLD:
             # Bulk push into the client window.
             yield from channel.rma_write(
-                self.node.name, region, payload=data, nbytes=nbytes
+                self.node.name, region, payload=data, nbytes=nbytes, trace=trace
             )
             return {"epoch": epoch, "nbytes": nbytes}
         # Inline read: the payload rides the reply capsule on the wire.
@@ -451,7 +461,7 @@ class DaosEngine:
 
     # -- erasure-coded data path (EC2P1) -----------------------------------------
     def _ec_update(self, channel, cid, oid, dkey, akey, epoch, offset, nbytes,
-                   region, data):
+                   region, data, trace=None):
         """Stripe-aligned EC write: two data cells + XOR parity, three targets.
 
         Degraded writes (a cell target down) are rejected — real DAOS
@@ -472,7 +482,8 @@ class DaosEngine:
             ENGINE_CPU_PER_OP + ENGINE_CPU_PER_BYTE * nbytes
         )
         if region is not None and nbytes > INLINE_THRESHOLD:
-            data = yield from channel.rma_read(self.node.name, region, nbytes)
+            data = yield from channel.rma_read(self.node.name, region, nbytes,
+                                               trace=trace)
         d0, d1, parity = erasure.encode(data, nbytes)
         half = nbytes // 2
         local_off = (offset // erasure.STRIPE_BYTES) * erasure.CELL_BYTES
@@ -490,7 +501,7 @@ class DaosEngine:
         return {"epoch": epoch}
 
     def _ec_fetch(self, channel, cid, oid, dkey, akey, epoch, offset, nbytes,
-                  region):
+                  region, trace=None):
         """Stripe-aligned EC read, reconstructing through parity when one
         data target is down."""
         from repro.daos import erasure
@@ -536,7 +547,7 @@ class DaosEngine:
 
         if region is not None and nbytes > INLINE_THRESHOLD:
             yield from channel.rma_write(
-                self.node.name, region, payload=data, nbytes=nbytes
+                self.node.name, region, payload=data, nbytes=nbytes, trace=trace
             )
             return {"epoch": epoch, "nbytes": nbytes}
         return {"epoch": epoch, "nbytes": nbytes, "data": data, "_wire": nbytes}

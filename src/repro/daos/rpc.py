@@ -82,15 +82,27 @@ class RpcServer:
                 nbytes=RPC_REPLY_BYTES,
             ))
             return
+        # Extract trace context from the capsule (CaRT carries hlc/trace
+        # metadata the same way); hand the handler a server-side span.
+        trace = msg.meta.get("trace") if msg.meta else None
+        span = None
+        if trace is not None:
+            span = trace.child(f"rpc.handler[{opcode}]", node=self.node.name)
+            args = dict(args)
+            args["_trace"] = span
         try:
             result = yield from handler(args, msg.src, channel)
         except DaosError as exc:
+            if span is not None:
+                span.finish()
             yield from channel.send(msg.reply_to(
                 kind="rpc.rep",
                 payload={"status": "error", "error": f"{type(exc).__name__}: {exc}"},
                 nbytes=RPC_REPLY_BYTES,
             ))
             return
+        if span is not None:
+            span.finish()
         # Handlers that piggyback payload bytes onto the reply (inline
         # fetches) declare the extra wire size via the "_wire" key.
         wire_extra = 0
@@ -136,13 +148,20 @@ class RpcClient:
         opcode: str,
         args: Dict[str, Any],
         req_nbytes: int = RPC_REQUEST_BYTES,
+        trace: Any = None,
     ) -> Generator[Event, None, Any]:
-        """Issue one RPC; returns the handler result or raises RpcError."""
+        """Issue one RPC; returns the handler result or raises RpcError.
+
+        ``trace`` (a parent :class:`~repro.sim.spans.Span`) rides in the
+        request capsule's metadata — the analog of CaRT's hlc/trace fields
+        — so the server and both transport legs can attach child spans.
+        """
         if self._demux is None:
             raise RuntimeError("RpcClient not started; call start() first")
         tag = next(RpcClient._tags)
         done = self.env.event()
         self._pending[tag] = done
+        span = trace.child(f"rpc[{opcode}]", node=self.node.name) if trace is not None else None
         yield from self.channel.send(Message(
             src=self.node.name,
             dst=self.server_name,
@@ -150,8 +169,11 @@ class RpcClient:
             tag=tag,
             payload={"op": opcode, "args": args},
             nbytes=req_nbytes,
+            meta={"trace": span} if span is not None else {},
         ))
         reply = yield done
+        if span is not None:
+            span.finish()
         body = reply.payload
         if body["status"] != "ok":
             raise RpcError(body.get("error", "remote failure"))

@@ -94,20 +94,25 @@ class VersionedObjectStore:
         nbytes: int,
         data: Optional[bytes] = None,
         bw_efficiency: float = 1.0,
+        trace=None,
     ) -> Generator[Event, None, None]:
         """Write one extent: record it, then persist to the right tier."""
         store = self.object(cont, oid).array(dkey, akey)
         ext = store.write(epoch, offset, nbytes, data)
         if nbytes <= self.scm_threshold:
+            span = trace.child("media.scm", nbytes=nbytes) if trace is not None else None
             scm_off = self.scm.reserve(nbytes)
             yield from self.scm.persist(scm_off, nbytes=nbytes, data=data)
             ext.media = ("scm", scm_off)
         else:
+            span = trace.child("media.nvme", nbytes=nbytes) if trace is not None else None
             dev_off = self._alloc_nvme(nbytes)
             yield from self.nvme.write(
                 dev_off, nbytes=nbytes, data=data, bw_efficiency=bw_efficiency
             )
             ext.media = ("nvme", dev_off)
+        if span is not None:
+            span.finish()
 
     def fetch(
         self,
@@ -120,6 +125,7 @@ class VersionedObjectStore:
         nbytes: int,
         verify: bool = True,
         bw_efficiency: float = 1.0,
+        trace=None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """Read a range at ``epoch``: media time per covering extent,
         checksum verification, zero-fill for holes."""
@@ -133,6 +139,7 @@ class VersionedObjectStore:
 
         env = self.env
         reads = []
+        any_nvme = False
         for seg in coverage:
             ext = seg.extent
             if ext is None or ext.media is None:
@@ -142,6 +149,7 @@ class VersionedObjectStore:
             if tier == "scm":
                 reads.append(env.process(self.scm.load(seg_off, seg.nbytes)))
             else:
+                any_nvme = True
                 reads.append(env.process(
                     self.nvme.read(seg_off, seg.nbytes, bw_efficiency=bw_efficiency)
                 ))
@@ -152,7 +160,13 @@ class VersionedObjectStore:
                 out[seg.start - offset:seg.end - offset] = \
                     memoryview(ext.data)[src:src + seg.nbytes]
         if reads:
+            span = None
+            if trace is not None:
+                span = trace.child("media.nvme" if any_nvme else "media.scm",
+                                   nbytes=nbytes)
             yield env.all_of(reads)
+            if span is not None:
+                span.finish()
         return bytes(out) if out is not None else None
 
     def punch(

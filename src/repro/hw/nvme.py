@@ -42,6 +42,7 @@ class NvmeDevice:
         nbytes: int,
         is_write: bool,
         bw_efficiency: float = 1.0,
+        trace=None,
     ) -> Generator[Event, None, None]:
         """Perform one device I/O; completes after queue + service + latency.
 
@@ -58,8 +59,13 @@ class NvmeDevice:
             service = max(nbytes / (spec.write_bw * bw_efficiency), 1.0 / spec.write_iops_cap)
         else:
             service = max(nbytes / (spec.read_bw * bw_efficiency), 1.0 / spec.read_iops_cap)
+        span = None
+        if trace is not None:
+            span = trace.child("nvme", node=f"nvme{self.index}", nbytes=nbytes)
         yield self._server.serve(service)
         yield self.env.timeout(spec.access_latency(is_write))
+        if span is not None:
+            span.finish()
         (self.writes if is_write else self.reads).record(nbytes)
 
     @property
@@ -128,16 +134,17 @@ class NvmeArray:
         nbytes: int,
         is_write: bool,
         bw_efficiency: float = 1.0,
+        trace=None,
     ) -> Generator[Event, None, None]:
         """One logical I/O; pieces on different devices proceed in parallel."""
         pieces = self.split(offset, nbytes)
         if len(pieces) == 1:
             dev, size = pieces[0]
-            yield from dev.submit(size, is_write, bw_efficiency)
+            yield from dev.submit(size, is_write, bw_efficiency, trace=trace)
             return
         env = self.env
         procs = [
-            env.process(dev.submit(size, is_write, bw_efficiency))
+            env.process(dev.submit(size, is_write, bw_efficiency, trace=trace))
             for dev, size in pieces
         ]
         yield env.all_of(procs)

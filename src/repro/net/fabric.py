@@ -149,7 +149,8 @@ class FabricChannel:
         raise NotImplementedError
 
     def rma_read(
-        self, initiator: str, region: RemoteRegion, nbytes: int, offset: int = 0
+        self, initiator: str, region: RemoteRegion, nbytes: int, offset: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """Pull ``nbytes`` from the peer's window into the initiator."""
         raise NotImplementedError
@@ -161,6 +162,7 @@ class FabricChannel:
         payload: Any = None,
         nbytes: Optional[int] = None,
         offset: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, None, None]:
         """Push bytes into the peer's window."""
         raise NotImplementedError
@@ -217,7 +219,7 @@ class TcpChannel(FabricChannel):
             )
         return entry
 
-    def rma_read(self, initiator, region, nbytes, offset=0):
+    def rma_read(self, initiator, region, nbytes, offset=0, trace=None):
         """Emulated read: request message out, data message back.
 
         The target pays full TCP receive+send CPU (its rxm progress
@@ -226,10 +228,13 @@ class TcpChannel(FabricChannel):
         """
         entry = self._lookup(region, nbytes, offset)
         target = self.peer_of(initiator)
-        req = Message(src=initiator, dst=target, kind="_rxm_read_req", nbytes=32)
+        meta = {"trace": trace} if trace is not None else {}
+        req = Message(src=initiator, dst=target, kind="_rxm_read_req", nbytes=32,
+                      meta=dict(meta))
         yield from self._conn.send(req)
         yield self._conn.recv_internal(target)
-        data = Message(src=target, dst=initiator, kind="_rxm_read_data", nbytes=nbytes)
+        data = Message(src=target, dst=initiator, kind="_rxm_read_data",
+                       nbytes=nbytes, meta=dict(meta))
         yield from self._conn.send(data)
         yield self._conn.recv_internal(initiator)
         buffer = entry[1]
@@ -237,13 +242,16 @@ class TcpChannel(FabricChannel):
             return bytes(memoryview(buffer)[offset:offset + nbytes])
         return None
 
-    def rma_write(self, initiator, region, payload=None, nbytes=None, offset=0):
+    def rma_write(self, initiator, region, payload=None, nbytes=None, offset=0,
+                  trace=None):
         size = nbytes if nbytes is not None else Message(
             src="", dst="", payload=payload
         ).nbytes
         entry = self._lookup(region, size, offset)
         target = self.peer_of(initiator)
-        data = Message(src=initiator, dst=target, kind="_rxm_write", nbytes=size)
+        meta = {"trace": trace} if trace is not None else {}
+        data = Message(src=initiator, dst=target, kind="_rxm_write", nbytes=size,
+                       meta=dict(meta))
         yield from self._conn.send(data)
         yield self._conn.recv_internal(target)
         buffer = entry[1]
@@ -280,7 +288,8 @@ class RdmaChannel(FabricChannel):
         qp = self.qps[msg.src]
         peer = self.qps[self.peer_of(msg.src)]
         peer.post_recv(wr_id=msg.tag)
-        yield from qp.post_send(payload=msg.payload, nbytes=msg.nbytes, wr_id=msg.tag)
+        yield from qp.post_send(payload=msg.payload, nbytes=msg.nbytes, wr_id=msg.tag,
+                                trace=msg.meta.get("trace") if msg.meta else None)
         # Drain the receiver-side completion and hand the message up.
         yield peer.recv_cq.poll()
         yield self._inbox[peer.device.node.name].put(msg)
@@ -305,15 +314,18 @@ class RdmaChannel(FabricChannel):
         if mr is not None:
             mr.pd.deregister_mr(mr)
 
-    def rma_read(self, initiator, region, nbytes, offset=0):
+    def rma_read(self, initiator, region, nbytes, offset=0, trace=None):
         qp = self.qps[initiator]
-        comp = yield from qp.rdma_read(region.addr + offset, region.rkey, nbytes)
+        comp = yield from qp.rdma_read(region.addr + offset, region.rkey, nbytes,
+                                       trace=trace)
         return comp.payload
 
-    def rma_write(self, initiator, region, payload=None, nbytes=None, offset=0):
+    def rma_write(self, initiator, region, payload=None, nbytes=None, offset=0,
+                  trace=None):
         qp = self.qps[initiator]
         yield from qp.rdma_write(
-            region.addr + offset, region.rkey, payload=payload, nbytes=nbytes
+            region.addr + offset, region.rkey, payload=payload, nbytes=nbytes,
+            trace=trace,
         )
 
 

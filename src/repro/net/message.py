@@ -75,7 +75,12 @@ class Message:
 
     def reply_to(self, payload: Any = None, nbytes: Optional[int] = None,
                  kind: Optional[str] = None) -> "Message":
-        """Build a response message addressed back to the sender."""
+        """Build a response message addressed back to the sender.
+
+        Metadata (trace context, HLC-style fields) is carried forward into
+        the reply, mirroring how CaRT echoes capsule metadata, so a span
+        collector can attribute the response leg to the originating request.
+        """
         return Message(
             src=self.dst,
             dst=self.src,
@@ -83,4 +88,5 @@ class Message:
             tag=self.tag,
             payload=payload,
             nbytes=nbytes,
+            meta=dict(self.meta),
         )

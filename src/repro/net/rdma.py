@@ -266,6 +266,7 @@ class QueuePair:
         payload: Any = None,
         nbytes: Optional[int] = None,
         wr_id: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, None, Completion]:
         """Two-sided SEND; matches a posted RECV at the peer.
 
@@ -277,16 +278,22 @@ class QueuePair:
         env = self.env
         size = nbytes if nbytes is not None else _payload_size(payload)
 
+        span = trace.child("rdma.post", node=self.device.node.name, nbytes=size) if trace is not None else None
         yield self.device.node.cpu.execute(costs.tx_cpu_per_op)
-        yield from self._wire(remote, size)
+        if span is not None:
+            span.finish()
+        yield from self._wire(remote, size, trace=trace, stage="rdma.eager")
 
         # Receiver must have a posted RECV (flow control is the upper
         # layer's job; we block until one is available, like an RC QP
         # with RNR retries).
+        span = trace.child("rdma.recv", node=remote.device.node.name, nbytes=size) if trace is not None else None
         wr_id_recv, mr = yield remote._recv_queue.get()
         if mr is not None and isinstance(payload, (bytes, bytearray, memoryview)):
             mr.write_bytes(mr.addr, payload)
         yield remote.device.node.cpu.execute(costs.rx_cpu_per_op)
+        if span is not None:
+            span.finish()
         remote.recv_cq.push(Completion(wr_id_recv, "recv", "ok", size, payload))
 
         comp = Completion(wr_id, "send", "ok", size)
@@ -303,14 +310,18 @@ class QueuePair:
         payload: Any = None,
         nbytes: Optional[int] = None,
         wr_id: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, None, Completion]:
         """One-sided WRITE into the peer's memory.  Zero remote CPU."""
         remote = self._require_remote()
         size = nbytes if nbytes is not None else _payload_size(payload)
         mr = self._validate(remote, remote_addr, size, AccessFlags.REMOTE_WRITE, rkey)
 
+        span = trace.child("rdma.post", node=self.device.node.name, nbytes=size) if trace is not None else None
         yield self.device.node.cpu.execute(self.device.costs.tx_cpu_per_op)
-        yield from self._wire(remote, size)
+        if span is not None:
+            span.finish()
+        yield from self._wire(remote, size, trace=trace, stage="rdma.dma")
 
         if payload is not None:
             mr.write_bytes(remote_addr, payload)
@@ -326,6 +337,7 @@ class QueuePair:
         rkey: int,
         nbytes: int,
         wr_id: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, None, Completion]:
         """One-sided READ from the peer's memory.  Zero remote CPU.
 
@@ -334,10 +346,14 @@ class QueuePair:
         remote = self._require_remote()
         mr = self._validate(remote, remote_addr, nbytes, AccessFlags.REMOTE_READ, rkey)
 
+        span = trace.child("rdma.post", node=self.device.node.name, nbytes=nbytes) if trace is not None else None
         yield self.device.node.cpu.execute(self.device.costs.tx_cpu_per_op)
+        if span is not None:
+            span.finish()
         # Request travels out (small), data travels back (nbytes).
-        yield from self._wire(remote, 0)
-        yield from remote.device.qp_wire(self.device, nbytes, rendezvous_exempt=True)
+        yield from self._wire(remote, 0, trace=trace, stage="rdma.dma")
+        yield from remote.device.qp_wire(self.device, nbytes, rendezvous_exempt=True,
+                                         trace=trace, stage="rdma.dma")
 
         data = mr.read_bytes(remote_addr, nbytes)
         comp = Completion(wr_id, "read", "ok", nbytes, data)
@@ -380,9 +396,10 @@ class QueuePair:
         return mr
 
     def _wire(
-        self, remote: "QueuePair", size: int
+        self, remote: "QueuePair", size: int,
+        trace: Any = None, stage: str = "net.wire",
     ) -> Generator[Event, None, None]:
-        yield from self.device.qp_wire(remote.device, size)
+        yield from self.device.qp_wire(remote.device, size, trace=trace, stage=stage)
 
 
 class RdmaDevice:
@@ -413,6 +430,8 @@ class RdmaDevice:
         dst_device: "RdmaDevice",
         size: int,
         rendezvous_exempt: bool = False,
+        trace: Any = None,
+        stage: str = "net.wire",
     ) -> Generator[Event, None, None]:
         """Move ``size`` payload bytes to ``dst_device`` over the switch.
 
@@ -430,10 +449,16 @@ class RdmaDevice:
             and size > costs.rendezvous_threshold
         ):
             # RTS/CTS exchange: one extra round-trip of small control msgs.
+            span = trace.child("rdma.rendezvous", node=src_name) if trace is not None else None
             rtt = 2 * (self.node.switch.spec.propagation + costs.rtt_overhead / 2.0)
             yield env.timeout(rtt)
+            if span is not None:
+                span.finish()
+        span = trace.child(stage, nbytes=size) if trace is not None else None
         wire = int((size + HEADER_BYTES) / costs.goodput_efficiency)
         yield from self.node.switch.transmit(src_name, dst_name, wire)
+        if span is not None:
+            span.finish()
 
 
 def _payload_size(payload: Any) -> int:

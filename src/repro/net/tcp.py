@@ -92,30 +92,69 @@ class TcpConnection:
         costs = src.costs
         env = src.env
         size = msg.nbytes
+        trace = msg.meta.get("trace") if msg.meta else None
 
         # --- sender ---------------------------------------------------
+        span = trace.child("tcp.tx", node=msg.src, nbytes=size) if trace is not None else None
         yield src.node.cpu.execute(
             costs.tx_cpu_per_op + costs.tx_cpu_per_byte * size
         )
+        if span is not None:
+            span.finish()
         if costs.stack_serial_per_op:
+            # The host-wide serialized stack section.  On a BlueField this
+            # section is the calibrated stand-in for the Arm kernel RX/stack
+            # path of §4.4 (it is what caps DPU TCP at ~200 K IOPS, Fig. 5c
+            # bottom), so the breakdown attributes it to ``arm_rx``
+            # regardless of which direction's syscall stalled on it.
+            span = None
+            if trace is not None:
+                stage = ("arm_rx" if "bluefield" in src.node.spec.name
+                         else "tcp.stack")
+                span = trace.child(stage, node=msg.src)
             yield src.node.lock("tcp_stack").enter(costs.stack_serial_per_op)
+            if span is not None:
+                span.finish()
         # Single-stream per-connection processing (sequential per direction).
         if costs.per_conn_byte_cost and size:
+            span = trace.child("tcp.stream", node=msg.src, nbytes=size) if trace is not None else None
             yield self._stream[msg.src].serve(costs.per_conn_byte_cost * size)
+            if span is not None:
+                span.finish()
 
         # --- wire ------------------------------------------------------
+        span = trace.child("net.wire", nbytes=size) if trace is not None else None
         yield env.timeout(costs.rtt_overhead / 2.0)
         wire = int(msg.frame_bytes / costs.goodput_efficiency)
         yield from src.node.switch.transmit(msg.src, dst.node.name, wire)
+        if span is not None:
+            span.finish()
 
         # --- receiver ---------------------------------------------------
         if costs.rx_cpu_per_byte and size:
             # Per-byte RX work runs on the restricted RX core set; the
             # pool's own factor already includes the platform RX penalty.
+            # On a BlueField this is the Arm RX path of the paper's §4.4.
+            if trace is not None:
+                rx_stage = ("arm_rx" if "bluefield" in dst.node.spec.name
+                            else "host_rx")
+                span = trace.child(rx_stage, node=dst.node.name, nbytes=size)
             yield dst.node.tcp_rx_cpu.execute(costs.rx_cpu_per_byte * size)
+            if trace is not None:
+                span.finish()
+        span = trace.child("tcp.rx", node=dst.node.name, nbytes=size) if trace is not None else None
         yield dst.node.cpu.execute(costs.rx_cpu_per_op)
+        if span is not None:
+            span.finish()
         if costs.stack_serial_per_op:
+            span = None
+            if trace is not None:
+                stage = ("arm_rx" if "bluefield" in dst.node.spec.name
+                         else "tcp.stack")
+                span = trace.child(stage, node=dst.node.name)
             yield dst.node.lock("tcp_stack").enter(costs.stack_serial_per_op)
+            if span is not None:
+                span.finish()
 
         src.sent.record(size)
         dst.received.record(size)

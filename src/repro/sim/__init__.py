@@ -12,6 +12,10 @@ dependency of this project).  It provides:
   hardware models.
 * :mod:`repro.sim.monitor` — lightweight instrumentation (counters,
   time-weighted gauges, latency recorders).
+* :mod:`repro.sim.spans` — request-scoped distributed tracing (spans,
+  latency breakdowns, critical paths).
+* :mod:`repro.sim.hist` — bounded-memory log-bucketed latency histograms.
+* :mod:`repro.sim.export` — Prometheus-text and JSON metric exporters.
 
 Time is a ``float`` in **seconds**.  All hardware models in
 :mod:`repro.hw` build directly on these primitives.
@@ -27,10 +31,18 @@ from repro.sim.core import (
     SimulationError,
     Timeout,
 )
+from repro.sim.hist import LogHistogram
 from repro.sim.monitor import Counter, Gauge, LatencyRecorder, Monitor, RateMeter
 from repro.sim.queues import BandwidthPipe, FifoServer
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.rng import RngStreams
+from repro.sim.spans import (
+    LatencyBreakdown,
+    Span,
+    SpanCollector,
+    Trace,
+    critical_path,
+)
 from repro.sim.trace import Tracer, TraceRecord
 
 __all__ = [
@@ -44,7 +56,9 @@ __all__ = [
     "FifoServer",
     "Gauge",
     "Interrupt",
+    "LatencyBreakdown",
     "LatencyRecorder",
+    "LogHistogram",
     "Monitor",
     "PriorityResource",
     "Process",
@@ -52,8 +66,12 @@ __all__ = [
     "Resource",
     "RngStreams",
     "SimulationError",
+    "Span",
+    "SpanCollector",
     "Store",
     "Timeout",
+    "Trace",
     "TraceRecord",
     "Tracer",
+    "critical_path",
 ]

@@ -379,16 +379,51 @@ class Environment:
         env.run(until=100.0)
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active", "_trace_hook")
+    __slots__ = ("_now", "_queue", "_eid", "_active", "_trace_hook",
+                 "_trace_subscribers")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list = []
         self._eid = 0
         self._active: Optional[Process] = None
-        #: Optional callback ``fn(event)`` invoked after each processed
-        #: event (used by :class:`repro.sim.trace.Tracer`).
+        #: Post-step dispatch target.  ``None`` when nobody listens (the hot
+        #: loop pays a single ``is not None`` test), the lone subscriber when
+        #: exactly one is attached, or :meth:`_dispatch_trace` for fan-out.
         self._trace_hook: Optional[Callable[[Event], None]] = None
+        self._trace_subscribers: list = []
+
+    # -- trace subscription -------------------------------------------------
+    def add_trace_subscriber(self, fn: Callable[[Event], None]) -> None:
+        """Register ``fn(event)`` to run after every processed event.
+
+        Multiple subscribers may coexist (e.g. an event :class:`Tracer` and a
+        span collector); they are invoked in registration order.
+        """
+        self._trace_subscribers.append(fn)
+        self._refresh_trace_hook()
+
+    def remove_trace_subscriber(self, fn: Callable[[Event], None]) -> None:
+        """Unregister a subscriber added with :meth:`add_trace_subscriber`."""
+        try:
+            self._trace_subscribers.remove(fn)
+        except ValueError:
+            pass
+        self._refresh_trace_hook()
+
+    def _refresh_trace_hook(self) -> None:
+        subs = self._trace_subscribers
+        if not subs:
+            self._trace_hook = None
+        elif len(subs) == 1:
+            # Single subscriber: dispatch directly, no fan-out frame.
+            self._trace_hook = subs[0]
+        else:
+            self._trace_hook = self._dispatch_trace
+
+    def _dispatch_trace(self, event: Event) -> None:
+        for fn in tuple(self._trace_subscribers):
+            fn(event)
 
     # -- clock ------------------------------------------------------------
     @property

@@ -1,0 +1,224 @@
+"""Metric export: Prometheus text exposition + JSON.
+
+Turns a :class:`~repro.sim.monitor.Monitor` (and optionally a
+:class:`~repro.core.telemetry.SystemReport` and a
+:class:`~repro.sim.spans.LatencyBreakdown`) into machine-readable form:
+
+* :func:`to_prometheus` — the Prometheus text exposition format (``# TYPE``
+  lines, ``_sum``/``_count``/``_bucket`` conventions), suitable for a
+  file-based textfile collector or scraping endpoint.
+* :func:`to_json_dict` / :func:`to_json` — a stable JSON document used by
+  the bench ``BENCH_*.json`` results format.
+* :func:`parse_prometheus` — a small parser used by the round-trip tests.
+
+Everything here is pure post-processing: no event-loop coupling, safe to
+call after (or during) a run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.monitor import Monitor
+    from repro.sim.spans import LatencyBreakdown
+
+__all__ = [
+    "metric_name",
+    "monitor_to_dict",
+    "to_prometheus",
+    "to_json_dict",
+    "to_json",
+    "parse_prometheus",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize an instrument name into a legal Prometheus metric name."""
+    clean = _NAME_RE.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return f"{prefix}_{clean}" if prefix else clean
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+# ---------------------------------------------------------------------------
+# Monitor -> dict
+# ---------------------------------------------------------------------------
+
+def monitor_to_dict(monitor: "Monitor") -> dict:
+    """All instruments of a :class:`Monitor` as one plain dict."""
+    return {
+        "counters": {n: c.value for n, c in monitor.counters.items()},
+        "gauges": {
+            n: {"level": g.level, "peak": g.peak, "mean": g.mean()}
+            for n, g in monitor.gauges.items()
+        },
+        "rates": {
+            n: {
+                "ops": r.ops,
+                "bytes": r.bytes,
+                "elapsed": r.elapsed(),
+                "ops_per_sec": r.ops_per_sec(),
+                "bytes_per_sec": r.bytes_per_sec(),
+            }
+            for n, r in monitor.rates.items()
+        },
+        "latencies": {n: rec.summary() for n, rec in monitor.latencies.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def to_prometheus(
+    monitor: "Monitor",
+    prefix: str = "repro",
+    breakdown: Optional["LatencyBreakdown"] = None,
+) -> str:
+    """Render every instrument in the Prometheus text format.
+
+    * counters → ``counter``
+    * gauges → ``gauge`` (current level) plus ``_peak`` / ``_mean`` gauges
+    * rate meters → ``_ops_total`` / ``_bytes_total`` counters and
+      per-second gauges
+    * latency recorders → ``summary`` (quantile series + ``_sum`` /
+      ``_count``); recorders that spilled to a streaming histogram also
+      emit cumulative ``_bucket{le=...}`` series
+    * breakdown stages (optional) → ``_stage_seconds_total`` counters
+    """
+    lines: list = []
+
+    for name, c in monitor.counters.items():
+        m = metric_name(name, prefix)
+        lines.append(f"# TYPE {m} counter")
+        lines.append(f"{m} {_fmt(c.value)}")
+
+    for name, g in monitor.gauges.items():
+        m = metric_name(name, prefix)
+        lines.append(f"# TYPE {m} gauge")
+        lines.append(f"{m} {_fmt(g.level)}")
+        lines.append(f"# TYPE {m}_peak gauge")
+        lines.append(f"{m}_peak {_fmt(g.peak)}")
+        lines.append(f"# TYPE {m}_mean gauge")
+        lines.append(f"{m}_mean {_fmt(g.mean())}")
+
+    for name, r in monitor.rates.items():
+        m = metric_name(name, prefix)
+        lines.append(f"# TYPE {m}_ops_total counter")
+        lines.append(f"{m}_ops_total {_fmt(r.ops)}")
+        lines.append(f"# TYPE {m}_bytes_total counter")
+        lines.append(f"{m}_bytes_total {_fmt(r.bytes)}")
+        lines.append(f"# TYPE {m}_ops_per_second gauge")
+        lines.append(f"{m}_ops_per_second {_fmt(r.ops_per_sec())}")
+        lines.append(f"# TYPE {m}_bytes_per_second gauge")
+        lines.append(f"{m}_bytes_per_second {_fmt(r.bytes_per_sec())}")
+
+    for name, rec in monitor.latencies.items():
+        m = metric_name(name, prefix) + "_seconds"
+        s = rec.summary()
+        lines.append(f"# TYPE {m} summary")
+        for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"), (0.999, "p999")):
+            lines.append(f'{m}{{quantile="{q}"}} {_fmt(s[key])}')
+        lines.append(f"{m}_sum {_fmt(s['mean'] * s['count'])}")
+        lines.append(f"{m}_count {s['count']}")
+        if rec.spilled:
+            h = rec.histogram()
+            hb = m + "_hist"
+            lines.append(f"# TYPE {hb} histogram")
+            for upper, cum in h.cumulative_buckets():
+                lines.append(f'{hb}_bucket{{le="{_fmt(upper)}"}} {cum}')
+            lines.append(f'{hb}_bucket{{le="+Inf"}} {h.count}')
+            lines.append(f"{hb}_sum {_fmt(h.sum)}")
+            lines.append(f"{hb}_count {h.count}")
+
+    if breakdown is not None:
+        m = metric_name("trace_stage_self_seconds_total", prefix)
+        lines.append(f"# TYPE {m} counter")
+        for stage, total, _share in breakdown.shares():
+            lines.append(f'{m}{{stage="{stage}"}} {_fmt(total)}')
+
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def to_json_dict(
+    monitor: Optional["Monitor"] = None,
+    breakdown: Optional["LatencyBreakdown"] = None,
+    **extra: object,
+) -> dict:
+    """Assemble the JSON export document (pure dict; see :func:`to_json`)."""
+    doc: dict = {"format": "repro-metrics-v1"}
+    if monitor is not None:
+        doc["monitor"] = monitor_to_dict(monitor)
+    if breakdown is not None:
+        doc["breakdown"] = breakdown.to_dict()
+    doc.update(extra)
+    return doc
+
+
+def to_json(
+    monitor: Optional["Monitor"] = None,
+    breakdown: Optional["LatencyBreakdown"] = None,
+    indent: int = 2,
+    **extra: object,
+) -> str:
+    """JSON text for the same document as :func:`to_json_dict`."""
+    return json.dumps(to_json_dict(monitor, breakdown, **extra),
+                      indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip parsing (tests, tooling)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, str], float]:
+    """Parse exposition text into ``{(metric_name, labels): value}``.
+
+    ``labels`` is the raw label string (``""`` when absent) so tests can
+    match exact series like ``('repro_lat_seconds', 'quantile="0.99"')``.
+    """
+    out: Dict[Tuple[str, str], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        out[(m.group("name"), m.group("labels") or "")] = _parse_value(
+            m.group("value"))
+    return out

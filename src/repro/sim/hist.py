@@ -1,0 +1,179 @@
+"""Streaming log-bucketed latency histogram (HDR-histogram flavoured).
+
+``LogHistogram`` records values into geometrically spaced buckets so memory
+stays bounded regardless of sample count — the property the unbounded
+``LatencyRecorder._samples`` list lacks for long runs.  Buckets are spaced by
+``base = 2 ** (1/16)`` which bounds the *relative* quantile error at
+``base - 1`` (~4.4%); reporting the geometric bucket midpoint halves that to
+~2.2%.  Histograms are mergeable (per-worker recording, one reduction at the
+end) and export a cumulative-bucket view for the Prometheus text format.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["LogHistogram"]
+
+#: Default bucket growth factor: 16 buckets per octave.
+_DEFAULT_BASE = 2.0 ** (1.0 / 16.0)
+
+#: Values below this floor all land in bucket 0 (1 ns for latencies in
+#: seconds — far below anything the simulator produces).
+_MIN_VALUE = 1e-9
+
+
+class LogHistogram:
+    """Bounded-memory histogram over positive floats.
+
+    Parameters
+    ----------
+    base:
+        Geometric bucket growth factor (> 1).  Smaller base → finer buckets
+        → tighter percentile error and slightly more memory.
+    min_value:
+        Smallest distinguishable value; anything below is clamped into the
+        first bucket.
+    """
+
+    __slots__ = ("base", "min_value", "_log_base", "_buckets",
+                 "count", "sum", "min", "max")
+
+    def __init__(self, base: float = _DEFAULT_BASE,
+                 min_value: float = _MIN_VALUE) -> None:
+        if not base > 1.0:
+            raise ValueError(f"base must be > 1, got {base}")
+        if not min_value > 0.0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        self.base = float(base)
+        self.min_value = float(min_value)
+        self._log_base = math.log(self.base)
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording ---------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return int(math.log(value / self.min_value) / self._log_base) + 1
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``value`` (``count`` times)."""
+        if value < 0.0:
+            raise ValueError(f"negative value {value}")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        i = self._index(value)
+        self._buckets[i] = self._buckets.get(i, 0) + count
+        self.count += count
+        self.sum += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    # -- bucket geometry ---------------------------------------------------
+
+    def _bucket_lower(self, index: int) -> float:
+        if index <= 0:
+            return 0.0
+        return self.min_value * self.base ** (index - 1)
+
+    def _bucket_upper(self, index: int) -> float:
+        if index <= 0:
+            return self.min_value
+        return self.min_value * self.base ** index
+
+    def _representative(self, index: int) -> float:
+        """Geometric midpoint of the bucket — the reported quantile value."""
+        if index <= 0:
+            return self.min_value
+        return self.min_value * self.base ** (index - 0.5)
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative error of a reported percentile."""
+        return math.sqrt(self.base) - 1.0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (0..100), within bucket error."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        if p <= 0.0:
+            return self.min
+        if p >= 100.0:
+            return self.max
+        rank = p / 100.0 * self.count
+        seen = 0
+        for i in sorted(self._buckets):
+            seen += self._buckets[i]
+            if seen >= rank:
+                rep = self._representative(i)
+                # The true value lies inside [min, max] by construction.
+                return min(max(rep, self.min), self.max)
+        return self.max
+
+    def percentiles(self, ps: Iterable[float]) -> List[float]:
+        return [self.percentile(p) for p in ps]
+
+    # -- merging & export --------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into ``self`` (in place); returns self."""
+        if (abs(other.base - self.base) > 1e-12
+                or abs(other.min_value - self.min_value) > 1e-18):
+            raise ValueError("cannot merge histograms with different geometry")
+        for i, n in other._buckets.items():
+            self._buckets[i] = self._buckets.get(i, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        return self
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs — Prometheus ``le`` view."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for i in sorted(self._buckets):
+            running += self._buckets[i]
+            out.append((self._bucket_upper(i), running))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LogHistogram(count={self.count}, buckets={len(self._buckets)}, "
+                f"p50={self.percentile(50):.3g}, p99={self.percentile(99):.3g})")

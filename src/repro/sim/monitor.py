@@ -131,40 +131,96 @@ class RateMeter:
 
 
 class LatencyRecorder:
-    """Accumulates per-operation latencies; summarizes with NumPy at the end."""
+    """Accumulates per-operation latencies; summarizes at the end.
 
-    __slots__ = ("name", "_samples", "enabled")
+    Short runs keep exact samples (NumPy percentiles at report time, as
+    before).  Past ``spill_threshold`` samples the recorder folds everything
+    into a bounded :class:`~repro.sim.hist.LogHistogram` and keeps streaming
+    into it, so memory stays O(buckets) for arbitrarily long runs while
+    percentiles stay within the histogram's ~2% relative bucket error.
+    """
 
-    def __init__(self, name: str, enabled: bool = True) -> None:
+    __slots__ = ("name", "_samples", "enabled", "spill_threshold", "_hist")
+
+    #: Default sample count at which exact storage spills to the histogram.
+    SPILL_THRESHOLD = 65_536
+
+    def __init__(self, name: str, enabled: bool = True,
+                 spill_threshold: int = SPILL_THRESHOLD) -> None:
+        if spill_threshold < 1:
+            raise ValueError(f"spill_threshold must be >= 1, got {spill_threshold}")
         self.name = name
         self._samples: List[float] = []
         #: When False, :meth:`record` is a no-op (cheap to leave in place).
         self.enabled = enabled
+        self.spill_threshold = spill_threshold
+        self._hist = None  # type: ignore[var-annotated]
 
     def __len__(self) -> int:
+        if self._hist is not None:
+            return self._hist.count
         return len(self._samples)
+
+    @property
+    def spilled(self) -> bool:
+        """True once samples have been folded into the streaming histogram."""
+        return self._hist is not None
+
+    def _spill(self) -> None:
+        from repro.sim.hist import LogHistogram
+
+        hist = LogHistogram()
+        hist.record_many(self._samples)
+        self._samples = []
+        self._hist = hist
 
     def record(self, latency: float) -> None:
         """Record one latency sample in seconds."""
-        if self.enabled:
-            self._samples.append(latency)
+        if not self.enabled:
+            return
+        if self._hist is not None:
+            self._hist.record(latency)
+            return
+        self._samples.append(latency)
+        if len(self._samples) >= self.spill_threshold:
+            self._spill()
 
     def clear(self) -> None:
         """Drop all samples (e.g. at the end of warm-up)."""
         self._samples.clear()
+        self._hist = None
+
+    def histogram(self):
+        """The streaming histogram view (spilling exact samples if needed)."""
+        if self._hist is None:
+            self._spill()
+        return self._hist
 
     def summary(self) -> Dict[str, float]:
-        """Return count/mean/p50/p95/p99/max in seconds (zeros if empty)."""
+        """Return count/mean/p50/p95/p99/p999/max in seconds (zeros if empty)."""
+        if self._hist is not None:
+            h = self._hist
+            return {
+                "count": h.count,
+                "mean": h.mean,
+                "p50": h.percentile(50),
+                "p95": h.percentile(95),
+                "p99": h.percentile(99),
+                "p999": h.percentile(99.9),
+                "max": h.max if h.count else 0.0,
+            }
         if not self._samples:
-            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "p999": 0.0, "max": 0.0}
         arr = np.asarray(self._samples, dtype=np.float64)
-        p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+        p50, p95, p99, p999 = np.percentile(arr, (50, 95, 99, 99.9))
         return {
             "count": int(arr.size),
             "mean": float(arr.mean()),
             "p50": float(p50),
             "p95": float(p95),
             "p99": float(p99),
+            "p999": float(p999),
             "max": float(arr.max()),
         }
 

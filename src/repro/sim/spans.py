@@ -1,0 +1,373 @@
+"""Request-scoped distributed tracing for the simulator.
+
+Real DAOS carries an HLC timestamp and trace metadata in every CaRT RPC
+capsule; the reproduction does the analog: a :class:`Span` is created at the
+workload layer, threaded (explicitly, or inside ``Message.meta["trace"]``
+across RPC hops) through client → transport → engine → VOS → media, and every
+stage opens a child span around its own work.  Because the simulator is one
+process, the "wire format" is simply the live parent span object.
+
+Design rules that keep tracing honest and cheap:
+
+* **Zero kernel coupling** — spans never schedule events or touch the event
+  loop; timestamps are plain reads of ``env.now``.  A traced run therefore
+  produces *bit-identical* simulated results to an untraced one.
+* **Zero cost when off** — every instrumented call site guards with
+  ``if trace is not None``; with no collector attached nothing is allocated.
+* **Sampling** — :meth:`SpanCollector.trace` returns ``None`` for
+  ``sample_every - 1`` out of every ``sample_every`` requests, bounding both
+  host memory and host CPU for long runs.
+
+On top of the raw spans sit three analyses:
+
+* :class:`LatencyBreakdown` — per-stage *self time* (span duration minus its
+  children's durations) aggregated across traces; renders the paper-style
+  attribution table behind Figs. 4-5 ("DPU-TCP 4 KiB randread: most of the
+  time is the Arm RX path").
+* :func:`critical_path` — the chain of spans that determined one request's
+  end-to-end latency.
+* ``to_dict`` hooks feeding the exporters in :mod:`repro.sim.export`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+__all__ = [
+    "Span",
+    "Trace",
+    "SpanCollector",
+    "LatencyBreakdown",
+    "critical_path",
+]
+
+_span_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+
+class Span:
+    """One timed stage of one request.
+
+    ``t_end`` is ``None`` until :meth:`finish` is called.  Spans form a tree
+    via ``parent_id``; the root span covers the whole request.
+    """
+
+    __slots__ = ("trace", "span_id", "parent_id", "name", "node",
+                 "t_start", "t_end", "nbytes", "attrs")
+
+    def __init__(
+        self,
+        trace: "Trace",
+        name: str,
+        parent_id: Optional[int],
+        node: Optional[str] = None,
+        nbytes: int = 0,
+        **attrs: object,
+    ) -> None:
+        self.trace = trace
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.t_start = trace.env.now
+        self.t_end: Optional[float] = None
+        self.nbytes = nbytes
+        self.attrs = attrs or None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def child(self, name: str, node: Optional[str] = None,
+              nbytes: int = 0, **attrs: object) -> "Span":
+        """Open a child span starting now."""
+        return Span(self.trace, name, self.span_id, node=node,
+                    nbytes=nbytes, **attrs)
+
+    def finish(self) -> "Span":
+        """Close the span at the current simulated time and record it."""
+        if self.t_end is None:
+            self.t_end = self.trace.env.now
+            self.trace.collector._record(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def trace_id(self) -> int:
+        return self.trace.trace_id
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated seconds (0.0 while still open)."""
+        return 0.0 if self.t_end is None else self.t_end - self.t_start
+
+    @property
+    def stage(self) -> str:
+        """Aggregation key: ``node.name`` when the node is known."""
+        return f"{self.node}.{self.name}" if self.node else self.name
+
+    def to_dict(self) -> dict:
+        d = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration": self.duration,
+            "nbytes": self.nbytes,
+        }
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.t_end is None else f"{self.duration * 1e6:.2f}us"
+        return f"<Span {self.stage} trace={self.trace_id} {state}>"
+
+
+class Trace:
+    """One sampled request: a trace id plus the root span."""
+
+    __slots__ = ("trace_id", "env", "collector", "root")
+
+    def __init__(self, collector: "SpanCollector", name: str,
+                 node: Optional[str] = None, nbytes: int = 0) -> None:
+        self.trace_id = next(_trace_ids)
+        self.env = collector.env
+        self.collector = collector
+        self.root = Span(self, name, None, node=node, nbytes=nbytes)
+
+    def finish(self) -> Span:
+        """Close the root span."""
+        return self.root.finish()
+
+
+class SpanCollector:
+    """Collects finished spans for one environment.
+
+    Parameters
+    ----------
+    sample_every:
+        Keep 1 in N requests (``trace()`` returns ``None`` for the rest).
+    max_traces:
+        Stop sampling new traces past this many (spans of already-started
+        traces are still recorded so no trace is left half-captured).
+    """
+
+    def __init__(self, env: "Environment", sample_every: int = 1,
+                 max_traces: int = 100_000) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self.env = env
+        self.sample_every = int(sample_every)
+        self.max_traces = int(max_traces)
+        self.spans: List[Span] = []
+        self.requests_seen = 0
+        self.traces_started = 0
+
+    # -- sampling ----------------------------------------------------------
+
+    def trace(self, name: str, node: Optional[str] = None,
+              nbytes: int = 0) -> Optional[Trace]:
+        """Maybe start a trace for a new request (honours sampling)."""
+        self.requests_seen += 1
+        if (self.requests_seen - 1) % self.sample_every != 0:
+            return None
+        if self.traces_started >= self.max_traces:
+            return None
+        self.traces_started += 1
+        return Trace(self, name, node=node, nbytes=nbytes)
+
+    def _record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    # -- views -------------------------------------------------------------
+
+    def by_trace(self) -> Dict[int, List[Span]]:
+        """Finished spans grouped by trace id."""
+        out: Dict[int, List[Span]] = {}
+        for s in self.spans:
+            out.setdefault(s.trace_id, []).append(s)
+        return out
+
+    def roots(self) -> List[Span]:
+        """All finished root spans, in completion order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def to_dict(self) -> dict:
+        return {
+            "requests_seen": self.requests_seen,
+            "traces_started": self.traces_started,
+            "sample_every": self.sample_every,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Analyses
+# ---------------------------------------------------------------------------
+
+class LatencyBreakdown:
+    """Per-stage attribution of end-to-end latency across traces.
+
+    Each span contributes its **self time** — duration minus the summed
+    durations of its direct children — to its stage bucket, so overlapping
+    parent/child intervals are not double counted and (for sequential
+    request shapes) the buckets sum exactly to the root durations.
+    """
+
+    def __init__(self, spans: Iterable[Span]) -> None:
+        spans = list(spans)
+        child_time: Dict[int, float] = {}
+        for s in spans:
+            if s.parent_id is not None:
+                child_time[s.parent_id] = child_time.get(s.parent_id, 0.0) + s.duration
+
+        self.stage_totals: Dict[str, float] = {}
+        self.stage_counts: Dict[str, int] = {}
+        self.total_root_time = 0.0
+        self.n_traces = 0
+        for s in spans:
+            self_time = s.duration - child_time.get(s.span_id, 0.0)
+            if self_time < 0.0:  # overlapping children (parallel fan-out)
+                self_time = 0.0
+            key = s.stage
+            self.stage_totals[key] = self.stage_totals.get(key, 0.0) + self_time
+            self.stage_counts[key] = self.stage_counts.get(key, 0) + 1
+            if s.parent_id is None:
+                self.total_root_time += s.duration
+                self.n_traces += 1
+
+    @property
+    def attributed_time(self) -> float:
+        """Total self time across all stages."""
+        return sum(self.stage_totals.values())
+
+    def coverage(self) -> float:
+        """Fraction of end-to-end time the stages account for (0..1)."""
+        if self.total_root_time <= 0.0:
+            return 0.0
+        return min(self.attributed_time / self.total_root_time, 1.0)
+
+    def shares(self) -> List[tuple]:
+        """``(stage, total_self_time, share_of_root)`` sorted descending."""
+        root = self.total_root_time or 1.0
+        rows = [(k, v, v / root) for k, v in self.stage_totals.items()]
+        rows.sort(key=lambda r: r[1], reverse=True)
+        return rows
+
+    def top_stage(self) -> Optional[str]:
+        """Stage with the largest attributed time (ignoring the root bucket)."""
+        best = None
+        best_t = -1.0
+        for k, v, _share in self.shares():
+            if v > best_t:
+                best, best_t = k, v
+        return best
+
+    def table(self, title: str = "Latency breakdown") -> str:
+        """Render the paper-style attribution table."""
+        from repro.bench.report import Table
+
+        n = max(self.n_traces, 1)
+        t = Table(title, ["self us/op", "share", "spans"], row_header="stage")
+        for stage, total, share in self.shares():
+            t.add_row(stage, [
+                f"{total / n * 1e6:9.3f}",
+                f"{share * 100:5.1f}%",
+                str(self.stage_counts[stage]),
+            ])
+        t.add_row("(end-to-end)", [
+            f"{self.total_root_time / n * 1e6:9.3f}",
+            f"{self.coverage() * 100:5.1f}% attributed",
+            str(self.n_traces),
+        ])
+        return t.render()
+
+    def to_dict(self) -> dict:
+        n = max(self.n_traces, 1)
+        return {
+            "n_traces": self.n_traces,
+            "end_to_end_sec_per_op": self.total_root_time / n,
+            "coverage": self.coverage(),
+            "stages": {
+                stage: {
+                    "self_sec_total": total,
+                    "self_sec_per_op": total / n,
+                    "share": share,
+                    "spans": self.stage_counts[stage],
+                }
+                for stage, total, share in self.shares()
+            },
+        }
+
+
+def critical_path(spans: Iterable[Span]) -> List[Span]:
+    """The chain of spans that determined one request's completion time.
+
+    At each level the children that gate the parent's completion are
+    reconstructed back-to-front: start from the child finishing last, then
+    repeatedly hop to the latest-ending child that finished before the
+    current one started (the stage the current one waited behind).  Each
+    chain element is expanded recursively, so for sequential shapes the
+    result is the full stage sequence, and for parallel fan-out
+    (multi-chunk DFS I/O, multi-QP) each level follows the straggler.
+    Parents precede their children in the returned list.  ``spans`` must
+    belong to a single trace.
+    """
+
+    spans = list(spans)
+    if not spans:
+        return []
+    tids = {s.trace_id for s in spans}
+    if len(tids) > 1:
+        raise ValueError(f"spans from {len(tids)} traces; pass exactly one")
+    children: Dict[int, List[Span]] = {}
+    root = None
+    for s in spans:
+        if s.parent_id is None:
+            root = s
+        else:
+            children.setdefault(s.parent_id, []).append(s)
+    if root is None:
+        # No root captured (e.g. trace truncated); start from earliest span.
+        root = min(spans, key=lambda s: s.t_start)
+
+    def expand(parent: Span) -> List[Span]:
+        kids = [k for k in children.get(parent.span_id, ())
+                if k.t_end is not None]
+        out = [parent]
+        if not kids:
+            return out
+        cur = max(kids, key=lambda s: s.t_end)
+        seq = [cur]
+        chosen = {id(cur)}
+        while True:
+            prev = [k for k in kids
+                    if id(k) not in chosen and k.t_end <= cur.t_start]
+            if not prev:
+                break
+            cur = max(prev, key=lambda s: s.t_end)
+            seq.append(cur)
+            chosen.add(id(cur))
+        for s in reversed(seq):
+            out.extend(expand(s))
+        return out
+
+    return expand(root)

@@ -59,9 +59,7 @@ class Tracer:
         self.predicate = predicate
         self.events_seen = 0
         self._attached = True
-        if env._trace_hook is not None:
-            raise RuntimeError("environment already has a tracer attached")
-        env._trace_hook = self._on_event
+        env.add_trace_subscriber(self._on_event)
 
     def _on_event(self, event) -> None:
         self.events_seen += 1
@@ -77,7 +75,7 @@ class Tracer:
     def detach(self) -> None:
         """Stop tracing and release the environment's hook."""
         if self._attached:
-            self.env._trace_hook = None
+            self.env.remove_trace_subscriber(self._on_event)
             self._attached = False
 
     def __enter__(self) -> "Tracer":

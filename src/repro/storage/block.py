@@ -47,12 +47,12 @@ class BlockDevice:
             )
 
     def read(
-        self, offset: int, nbytes: int, bw_efficiency: float = 1.0
+        self, offset: int, nbytes: int, bw_efficiency: float = 1.0, trace=None
     ) -> Generator[Event, None, Optional[bytes]]:
         """Read; returns bytes in data mode, None otherwise."""
         self._check(offset, nbytes)
         yield from self.array.submit(offset, nbytes, is_write=False,
-                                     bw_efficiency=bw_efficiency)
+                                     bw_efficiency=bw_efficiency, trace=trace)
         if self._store is not None:
             return self._store.read(offset, nbytes)
         return None
@@ -63,6 +63,7 @@ class BlockDevice:
         nbytes: Optional[int] = None,
         data: Optional[bytes] = None,
         bw_efficiency: float = 1.0,
+        trace=None,
     ) -> Generator[Event, None, None]:
         """Write ``data`` (or a virtual payload of ``nbytes``)."""
         if nbytes is None:
@@ -73,6 +74,6 @@ class BlockDevice:
             raise ValueError(f"data of {len(data)} bytes but nbytes={nbytes}")
         self._check(offset, nbytes)
         yield from self.array.submit(offset, nbytes, is_write=True,
-                                     bw_efficiency=bw_efficiency)
+                                     bw_efficiency=bw_efficiency, trace=trace)
         if self._store is not None and data is not None:
             self._store.write(offset, data)

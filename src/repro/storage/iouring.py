@@ -60,17 +60,29 @@ class IoUringEngine:
         nbytes: int,
         is_write: bool,
         data: Optional[bytes] = None,
+        trace=None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """One POSIX read/write; completes when the CQE is reaped."""
         costs = self.costs
+        span = None
+        if trace is not None:
+            span = trace.child("iouring.submit", node=self.node.name, nbytes=nbytes)
         yield ctx.run(costs.submit_cpu_per_op)
         yield self._block_layer.enter(BLOCK_LAYER_SERIAL_PER_OP)
+        if span is not None:
+            span.finish()
         eff = costs.write_bw_efficiency if is_write else costs.read_bw_efficiency
         if is_write:
             yield from self.device.write(offset, nbytes=nbytes, data=data,
-                                         bw_efficiency=eff)
+                                         bw_efficiency=eff, trace=trace)
             result = None
         else:
-            result = yield from self.device.read(offset, nbytes, bw_efficiency=eff)
+            result = yield from self.device.read(offset, nbytes, bw_efficiency=eff,
+                                                 trace=trace)
+        span = None
+        if trace is not None:
+            span = trace.child("iouring.complete", node=self.node.name)
         yield ctx.run(costs.complete_cpu_per_op)
+        if span is not None:
+            span.finish()
         return result

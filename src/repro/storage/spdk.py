@@ -70,21 +70,32 @@ class SpdkLocalEngine:
         nbytes: int,
         is_write: bool,
         data: Optional[bytes] = None,
+        trace=None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """One local NVMe command through the user-space driver."""
         costs = self.costs
+        span = None
+        if trace is not None:
+            span = trace.child("spdk.submit", node=self.node.name, nbytes=nbytes)
         yield ctx.run(costs.submit_cpu_per_op)
+        if span is not None:
+            span.finish()
         if is_write:
             yield from self.device.write(
                 offset, nbytes=nbytes, data=data,
-                bw_efficiency=costs.write_bw_efficiency,
+                bw_efficiency=costs.write_bw_efficiency, trace=trace,
             )
             result = None
         else:
             result = yield from self.device.read(
-                offset, nbytes, bw_efficiency=costs.read_bw_efficiency
+                offset, nbytes, bw_efficiency=costs.read_bw_efficiency, trace=trace
             )
+        span = None
+        if trace is not None:
+            span = trace.child("spdk.complete", node=self.node.name)
         yield ctx.run(costs.complete_cpu_per_op)
+        if span is not None:
+            span.finish()
         return result
 
 
@@ -125,23 +136,33 @@ class NvmfTarget:
         nbytes = cmd["nbytes"]
         region: Optional[RemoteRegion] = cmd.get("region")
 
+        # The command capsule carries the initiator's span (like the DAOS
+        # RPC capsule); target-side work hangs off a handler child span.
+        trace = msg.meta.get("trace") if msg.meta else None
+        span = None
+        if trace is not None:
+            span = trace.child("nvmf.target", node=self.node.name, nbytes=nbytes)
+
         yield self.node.cpu.execute(self.cpu_per_op)
 
         if op == "write":
             # Pull the payload from the client window, then hit the media.
             data = None
             if region is not None:
-                data = yield from channel.rma_read(self.node.name, region, nbytes)
-            yield from self.device.write(offset, nbytes=nbytes, data=data)
+                data = yield from channel.rma_read(self.node.name, region, nbytes,
+                                                   trace=span)
+            yield from self.device.write(offset, nbytes=nbytes, data=data, trace=span)
         elif op == "read":
-            data = yield from self.device.read(offset, nbytes)
+            data = yield from self.device.read(offset, nbytes, trace=span)
             if region is not None:
                 yield from channel.rma_write(
-                    self.node.name, region, payload=data, nbytes=nbytes
+                    self.node.name, region, payload=data, nbytes=nbytes, trace=span
                 )
         else:
             raise ValueError(f"unknown NVMe-oF op {op!r}")
 
+        if span is not None:
+            span.finish()
         self.commands_served += 1
         yield from channel.send(msg.reply_to(kind="nvmf.cpl", payload={"status": "ok"}))
 
@@ -204,6 +225,7 @@ class NvmfInitiator:
         nbytes: int,
         is_write: bool,
         data: Optional[bytes] = None,
+        trace=None,
     ) -> Generator[Event, None, Optional[bytes]]:
         """One remote NVMe command; completes at the completion capsule."""
         if self._demux is None:
@@ -211,6 +233,10 @@ class NvmfInitiator:
         costs = self.costs
         env = self.env
         cid = next(NvmfInitiator._cid)
+
+        span = None
+        if trace is not None:
+            span = trace.child("nvmf.cmd", node=self.node.name, nbytes=nbytes)
 
         yield ctx.run(costs.submit_cpu_per_op)
 
@@ -237,10 +263,13 @@ class NvmfInitiator:
                 "region": region,
             },
             nbytes=96,
+            meta={"trace": span} if span is not None else {},
         )
         yield from self.channel.send(capsule)
         yield done
         yield ctx.run(costs.complete_cpu_per_op)
+        if span is not None:
+            span.finish()
 
         result: Optional[bytes] = None
         if self.data_mode:

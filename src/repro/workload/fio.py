@@ -88,6 +88,27 @@ class FioResult:
         """Thousands of IOPS (the paper's small-block unit)."""
         return self.iops / 1e3
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable result record (the JSON bench artefacts)."""
+        return {
+            "spec": {
+                "rw": self.spec.rw,
+                "bs": self.spec.bs,
+                "numjobs": self.spec.numjobs,
+                "iodepth": self.spec.iodepth,
+                "runtime": self.spec.runtime,
+                "ramp_time": self.spec.ramp_time,
+                "size": self.spec.size,
+            },
+            "total_ios": self.total_ios,
+            "elapsed": self.elapsed,
+            "iops": self.iops,
+            "bandwidth": self.bandwidth,
+            "bandwidth_gib": self.bandwidth_gib,
+            "kiops": self.kiops,
+            "latency": dict(self.latency),
+        }
+
     def __str__(self) -> str:
         return (
             f"{self.spec.rw} bs={self.spec.bs} jobs={self.spec.numjobs} "
@@ -106,10 +127,10 @@ class Ros2FioAdapter:
     def new_context(self, name: Optional[str] = None):
         return self.port.new_context(name)
 
-    def submit(self, ctx, offset: int, nbytes: int, is_write: bool):
+    def submit(self, ctx, offset: int, nbytes: int, is_write: bool, trace=None):
         if is_write:
-            return self.port.write(ctx, self.fh, offset, nbytes=nbytes)
-        return self.port.read(ctx, self.fh, offset, nbytes)
+            return self.port.write(ctx, self.fh, offset, nbytes=nbytes, trace=trace)
+        return self.port.read(ctx, self.fh, offset, nbytes, trace=trace)
 
 
 def run_fio(
@@ -117,12 +138,19 @@ def run_fio(
     adapter,
     spec: FioJobSpec,
     until_extra: float = 0.0,
+    collector=None,
 ) -> FioResult:
     """Run one FIO job spec to completion and report the measured window.
 
     The caller must have finished all setup processes (engines started,
     files created and pre-filled); this call advances the simulation by
     ``ramp_time + runtime`` seconds.
+
+    When ``collector`` (a :class:`~repro.sim.spans.SpanCollector`) is given,
+    each measured operation may start a sampled trace whose root span covers
+    submit-to-completion; the adapter and every layer below annotate it with
+    per-stage child spans.  With ``collector=None`` the hot loop issues the
+    exact same calls as before tracing existed.
     """
     rng = RngStreams(spec.seed)
     meter = RateMeter(env, "fio")
@@ -136,7 +164,16 @@ def run_fio(
         while not stop[0]:
             offset = pattern.next()
             t0 = env.now
-            yield from adapter.submit(ctx, offset, spec.bs, spec.is_write)
+            if collector is not None and t0 >= measure_from:
+                tr = collector.trace(f"fio.{spec.rw}", nbytes=spec.bs)
+            else:
+                tr = None
+            if tr is not None:
+                yield from adapter.submit(ctx, offset, spec.bs, spec.is_write,
+                                          trace=tr.root)
+                tr.finish()
+            else:
+                yield from adapter.submit(ctx, offset, spec.bs, spec.is_write)
             if env.now >= measure_from:
                 meter.record(spec.bs)
                 lat.record(env.now - t0)

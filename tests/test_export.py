@@ -1,0 +1,183 @@
+"""Prometheus-text and JSON export: round-trip coverage of every instrument."""
+
+import json
+import math
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.export import (
+    metric_name,
+    monitor_to_dict,
+    parse_prometheus,
+    to_json,
+    to_json_dict,
+    to_prometheus,
+)
+from repro.sim.monitor import Monitor
+from repro.sim.spans import LatencyBreakdown, SpanCollector
+
+
+def advance(env, dt):
+    def tick(env):
+        yield env.timeout(dt)
+    env.process(tick(env))
+    env.run()
+
+
+def populated_monitor():
+    env = Environment()
+    mon = Monitor(env)
+    mon.counter("rpc.sent").add(42)
+    mon.counter("rpc.errors")  # zero-valued counter must still export
+    g = mon.gauge("staged.bytes")
+    g.set(100.0)
+    advance(env, 1.0)
+    g.set(50.0)
+    advance(env, 1.0)
+    r = mon.rate("fio")
+    r.record(4096)
+    r.record(4096)
+    lat = mon.latency("op.lat")
+    for i in range(1, 101):
+        lat.record(i * 1e-6)
+    return env, mon
+
+
+class TestMetricName:
+    def test_sanitizes(self):
+        assert metric_name("fio.job-1/lat") == "repro_fio_job_1_lat"
+
+    def test_digit_prefix(self):
+        assert metric_name("4k.lat", prefix="") == "_4k_lat"
+
+    def test_no_prefix(self):
+        assert metric_name("x", prefix="") == "x"
+
+
+class TestPrometheusRoundTrip:
+    def test_every_instrument_appears_with_correct_value(self):
+        env, mon = populated_monitor()
+        parsed = parse_prometheus(to_prometheus(mon))
+
+        # counters
+        assert parsed[("repro_rpc_sent", "")] == 42
+        assert parsed[("repro_rpc_errors", "")] == 0
+        # gauges: level, peak, mean
+        assert parsed[("repro_staged_bytes", "")] == 50.0
+        assert parsed[("repro_staged_bytes_peak", "")] == 100.0
+        g = mon.gauges["staged.bytes"]
+        assert parsed[("repro_staged_bytes_mean", "")] == pytest.approx(g.mean())
+        # rates
+        r = mon.rates["fio"]
+        assert parsed[("repro_fio_ops_total", "")] == 2
+        assert parsed[("repro_fio_bytes_total", "")] == 8192
+        assert parsed[("repro_fio_ops_per_second", "")] == pytest.approx(r.ops_per_sec())
+        assert parsed[("repro_fio_bytes_per_second", "")] == pytest.approx(
+            r.bytes_per_sec())
+        # latency summary
+        s = mon.latencies["op.lat"].summary()
+        for q, key in (("0.5", "p50"), ("0.95", "p95"),
+                       ("0.99", "p99"), ("0.999", "p999")):
+            assert parsed[("repro_op_lat_seconds", f'quantile="{q}"')] == \
+                pytest.approx(s[key])
+        assert parsed[("repro_op_lat_seconds_count", "")] == 100
+        assert parsed[("repro_op_lat_seconds_sum", "")] == pytest.approx(
+            s["mean"] * 100)
+
+    def test_spilled_recorder_emits_histogram_buckets(self):
+        env = Environment()
+        mon = Monitor(env)
+        lat = mon.latency("big.lat")
+        lat.spill_threshold = 64  # force the streaming histogram early
+        for i in range(1, 201):
+            lat.record(i * 1e-6)
+        assert lat.spilled
+        parsed = parse_prometheus(to_prometheus(mon))
+        inf_key = ("repro_big_lat_seconds_hist_bucket", 'le="+Inf"')
+        assert parsed[inf_key] == 200
+        buckets = [(k, v) for k, v in parsed.items()
+                   if k[0] == "repro_big_lat_seconds_hist_bucket"]
+        assert len(buckets) > 10
+        assert parsed[("repro_big_lat_seconds_hist_count", "")] == 200
+
+    def test_breakdown_stages_export(self):
+        env = Environment()
+        mon = Monitor(env)
+        col = SpanCollector(env)
+        tr = col.trace("e2e")
+        s = tr.root.child("media.nvme", node="storage")
+        advance(env, 2.0)
+        s.finish()
+        tr.finish()
+        bd = LatencyBreakdown(col.spans)
+        parsed = parse_prometheus(to_prometheus(mon, breakdown=bd))
+        key = ("repro_trace_stage_self_seconds_total",
+               'stage="storage.media.nvme"')
+        assert parsed[key] == pytest.approx(2.0)
+
+    def test_type_lines_present(self):
+        env, mon = populated_monitor()
+        text = to_prometheus(mon)
+        assert "# TYPE repro_rpc_sent counter" in text
+        assert "# TYPE repro_staged_bytes gauge" in text
+        assert "# TYPE repro_op_lat_seconds summary" in text
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is } not { exposition format")
+
+    def test_parser_inf(self):
+        assert parse_prometheus('m_bucket{le="+Inf"} 5\n') == {
+            ("m_bucket", 'le="+Inf"'): 5.0}
+        assert parse_prometheus("m -Inf\n")[("m", "")] == -math.inf
+
+
+class TestJson:
+    def test_monitor_to_dict_complete(self):
+        env, mon = populated_monitor()
+        d = monitor_to_dict(mon)
+        assert d["counters"]["rpc.sent"] == 42
+        assert d["gauges"]["staged.bytes"]["peak"] == 100.0
+        assert d["rates"]["fio"]["bytes"] == 8192
+        assert d["latencies"]["op.lat"]["count"] == 100
+        assert "p999" in d["latencies"]["op.lat"]
+
+    def test_to_json_round_trips_through_json_loads(self):
+        env, mon = populated_monitor()
+        doc = json.loads(to_json(mon, run="unit-test"))
+        assert doc["format"] == "repro-metrics-v1"
+        assert doc["run"] == "unit-test"
+        assert doc["monitor"]["counters"]["rpc.sent"] == 42
+
+    def test_to_json_dict_with_breakdown(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("e2e")
+        advance(env, 1.0)
+        tr.finish()
+        doc = to_json_dict(breakdown=LatencyBreakdown(col.spans))
+        assert doc["breakdown"]["n_traces"] == 1
+        assert "monitor" not in doc
+
+
+class TestSystemReportExport:
+    def test_system_report_to_dict_and_json(self):
+        from repro.core import Ros2Config, Ros2System
+        from repro.core.telemetry import snapshot
+
+        env = Environment()
+        system = Ros2System(env, Ros2Config(transport="tcp", client="host"))
+
+        def setup(env):
+            yield from system.start()
+
+        p = env.process(setup(env))
+        env.run(until=p)
+        report = snapshot(system)
+        d = report.to_dict()
+        assert d["now"] == env.now
+        assert {n["name"] for n in d["nodes"]}  # at least one node
+        assert d["busiest_component"] == report.busiest_component()
+        doc = json.loads(report.to_json())
+        assert doc == json.loads(json.dumps(d, sort_keys=True))

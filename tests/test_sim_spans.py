@@ -1,0 +1,274 @@
+"""Unit tests for the request-tracing subsystem (spans, breakdown, paths)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.spans import LatencyBreakdown, SpanCollector, critical_path
+
+
+def advance(env: Environment, dt: float) -> None:
+    def tick(env):
+        yield env.timeout(dt)
+    env.process(tick(env))
+    env.run()
+
+
+class TestSpanLifecycle:
+    def test_root_span_records_on_finish(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("op", node="client", nbytes=4096)
+        assert tr is not None
+        advance(env, 1.5)
+        root = tr.finish()
+        assert root.t_start == 0.0
+        assert root.t_end == 1.5
+        assert root.duration == 1.5
+        assert root.nbytes == 4096
+        assert col.spans == [root]
+
+    def test_child_hierarchy_and_stage_names(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("op")
+        child = tr.root.child("media.nvme", node="storage", nbytes=128)
+        assert child.parent_id == tr.root.span_id
+        assert child.trace_id == tr.trace_id
+        assert child.stage == "storage.media.nvme"
+        assert tr.root.stage == "op"
+        child.finish()
+        tr.finish()
+        assert len(col.spans) == 2
+
+    def test_finish_is_idempotent(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("op")
+        advance(env, 1.0)
+        tr.finish()
+        advance(env, 1.0)
+        tr.finish()
+        assert len(col.spans) == 1
+        assert col.spans[0].t_end == 1.0
+
+    def test_context_manager_finishes(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("op")
+        with tr.root.child("stage") as s:
+            advance(env, 0.25)
+        assert s.t_end == 0.25
+        assert s in col.spans
+
+    def test_open_span_has_zero_duration(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("op")
+        advance(env, 3.0)
+        assert tr.root.duration == 0.0
+
+    def test_to_dict_round_trip_fields(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("op", node="n1", nbytes=17)
+        advance(env, 0.5)
+        d = tr.finish().to_dict()
+        assert d["name"] == "op"
+        assert d["node"] == "n1"
+        assert d["nbytes"] == 17
+        assert d["duration"] == 0.5
+        assert d["parent_id"] is None
+
+
+class TestSampling:
+    def test_sample_every_n(self):
+        env = Environment()
+        col = SpanCollector(env, sample_every=5)
+        picks = [col.trace("op") is not None for _ in range(20)]
+        assert picks == [i % 5 == 0 for i in range(20)]
+        assert col.requests_seen == 20
+        assert col.traces_started == 4
+
+    def test_max_traces_cap(self):
+        env = Environment()
+        col = SpanCollector(env, max_traces=3)
+        traces = [col.trace("op") for _ in range(10)]
+        assert sum(t is not None for t in traces) == 3
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SpanCollector(env, sample_every=0)
+        with pytest.raises(ValueError):
+            SpanCollector(env, max_traces=0)
+
+    def test_clear(self):
+        env = Environment()
+        col = SpanCollector(env)
+        col.trace("op").finish()
+        col.clear()
+        assert col.spans == []
+
+
+def build_sequential_trace(env, col, stages):
+    """Root with sequential children of the given (name, duration)s."""
+    tr = col.trace("e2e")
+    for name, dur in stages:
+        s = tr.root.child(name)
+        advance(env, dur)
+        s.finish()
+    tr.finish()
+    return tr
+
+
+class TestLatencyBreakdown:
+    def test_self_time_subtracts_children(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("e2e")
+        outer = tr.root.child("rpc")
+        inner = outer.child("media")
+        advance(env, 2.0)
+        inner.finish()
+        advance(env, 1.0)
+        outer.finish()
+        tr.finish()
+        bd = LatencyBreakdown(col.spans)
+        assert bd.stage_totals["media"] == pytest.approx(2.0)
+        assert bd.stage_totals["rpc"] == pytest.approx(1.0)  # 3.0 - 2.0
+        assert bd.stage_totals["e2e"] == pytest.approx(0.0)
+        assert bd.coverage() == pytest.approx(1.0)
+
+    def test_sequential_stages_sum_to_root(self):
+        env = Environment()
+        col = SpanCollector(env)
+        build_sequential_trace(env, col, [("a", 1.0), ("b", 2.0), ("c", 3.0)])
+        bd = LatencyBreakdown(col.spans)
+        assert bd.total_root_time == pytest.approx(6.0)
+        assert bd.attributed_time == pytest.approx(6.0)
+        assert bd.shares()[0][0] == "c"
+        assert bd.top_stage() == "c"
+
+    def test_parallel_children_clamp_to_zero(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("e2e")
+        a = tr.root.child("a")
+        b = tr.root.child("b")
+        advance(env, 4.0)
+        a.finish()
+        b.finish()
+        tr.finish()
+        bd = LatencyBreakdown(col.spans)
+        # Root self-time = 4 - (4 + 4) < 0 -> clamped; coverage capped at 1.
+        assert bd.stage_totals["e2e"] == 0.0
+        assert bd.coverage() == 1.0
+
+    def test_aggregates_across_traces(self):
+        env = Environment()
+        col = SpanCollector(env)
+        build_sequential_trace(env, col, [("a", 1.0)])
+        build_sequential_trace(env, col, [("a", 3.0)])
+        bd = LatencyBreakdown(col.spans)
+        assert bd.n_traces == 2
+        assert bd.stage_totals["a"] == pytest.approx(4.0)
+        assert bd.stage_counts["a"] == 2
+
+    def test_table_renders(self):
+        env = Environment()
+        col = SpanCollector(env)
+        build_sequential_trace(env, col, [("alpha", 1.0), ("beta", 2.0)])
+        text = LatencyBreakdown(col.spans).table("T")
+        assert "alpha" in text and "beta" in text
+        assert "(end-to-end)" in text
+
+    def test_to_dict_shape(self):
+        env = Environment()
+        col = SpanCollector(env)
+        build_sequential_trace(env, col, [("a", 1.0)])
+        d = LatencyBreakdown(col.spans).to_dict()
+        assert d["n_traces"] == 1
+        assert d["stages"]["a"]["share"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        bd = LatencyBreakdown([])
+        assert bd.coverage() == 0.0
+        assert bd.top_stage() is None
+
+
+class TestCriticalPath:
+    def test_sequential_chain_fully_reconstructed(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = build_sequential_trace(env, col, [("a", 1.0), ("b", 2.0), ("c", 3.0)])
+        spans = col.by_trace()[tr.trace_id]
+        names = [s.name for s in critical_path(spans)]
+        assert names == ["e2e", "a", "b", "c"]
+
+    def test_parallel_picks_straggler(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("e2e")
+        fast = tr.root.child("fast")
+        slow = tr.root.child("slow")
+
+        def fin(env, span, dt):
+            yield env.timeout(dt)
+            span.finish()
+
+        env.process(fin(env, fast, 1.0))
+        env.process(fin(env, slow, 5.0))
+        env.run()
+        tr.finish()
+        spans = col.by_trace()[tr.trace_id]
+        names = [s.name for s in critical_path(spans)]
+        assert "slow" in names and "fast" not in names
+
+    def test_nested_expansion(self):
+        env = Environment()
+        col = SpanCollector(env)
+        tr = col.trace("e2e")
+        rpc = tr.root.child("rpc")
+        tx = rpc.child("tx")
+        advance(env, 1.0)
+        tx.finish()
+        rx = rpc.child("rx")
+        advance(env, 2.0)
+        rx.finish()
+        rpc.finish()
+        tr.finish()
+        names = [s.name for s in critical_path(col.by_trace()[tr.trace_id])]
+        assert names == ["e2e", "rpc", "tx", "rx"]
+
+    def test_rejects_multiple_traces(self):
+        env = Environment()
+        col = SpanCollector(env)
+        t1 = build_sequential_trace(env, col, [("a", 1.0)])
+        t2 = build_sequential_trace(env, col, [("a", 1.0)])
+        assert t1.trace_id != t2.trace_id
+        with pytest.raises(ValueError):
+            critical_path(col.spans)
+
+    def test_empty_returns_empty(self):
+        assert critical_path([]) == []
+
+
+class TestCollectorViews:
+    def test_by_trace_and_roots(self):
+        env = Environment()
+        col = SpanCollector(env)
+        t1 = build_sequential_trace(env, col, [("a", 1.0)])
+        t2 = build_sequential_trace(env, col, [("b", 1.0)])
+        grouped = col.by_trace()
+        assert set(grouped) == {t1.trace_id, t2.trace_id}
+        assert [r.trace_id for r in col.roots()] == [t1.trace_id, t2.trace_id]
+
+    def test_collector_to_dict(self):
+        env = Environment()
+        col = SpanCollector(env, sample_every=2)
+        build_sequential_trace(env, col, [("a", 1.0)])
+        col.trace("skipped")
+        d = col.to_dict()
+        assert d["requests_seen"] == 2
+        assert d["traces_started"] == 1
+        assert len(d["spans"]) == 2

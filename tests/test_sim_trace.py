@@ -77,11 +77,23 @@ def test_tracer_detach_and_context_manager():
     assert env._trace_hook is None
 
 
-def test_single_tracer_per_environment():
+def test_two_tracers_coexist():
+    """The trace hook is multi-subscriber: two tracers see every event."""
     env = Environment()
-    Tracer(env)
-    with pytest.raises(RuntimeError, match="already has a tracer"):
-        Tracer(env)
+    a = Tracer(env)
+    b = Tracer(env, predicate=lambda r: r.name == "w1")
+    busy_sim(env)
+    env.run()
+    assert a.events_seen > 0
+    assert a.events_seen == b.events_seen
+    assert all(r.name == "w1" for r in b.records)
+    # Detaching one leaves the other attached.
+    b.detach()
+    busy_sim(env, n=1)
+    env.run()
+    assert a.events_seen > b.events_seen
+    a.detach()
+    assert env._trace_hook is None
 
 
 def test_tracer_validation():

@@ -1,0 +1,151 @@
+"""Stack-wide tracing integration: spans survive RPC hops end to end.
+
+These tests run real (short) Fig. 5 workloads with a :class:`SpanCollector`
+attached and assert the properties the breakdown analysis relies on:
+
+* trace ids survive the client → server RPC hop (server-side spans carry
+  the same trace id as the FIO root that issued the request);
+* the per-stage self times sum to the end-to-end latency within tolerance
+  (sequential request shapes → coverage ~100%);
+* the RDMA rendezvous path and the DPU-offloaded TCP path both emit their
+  characteristic stages;
+* two event-trace subscribers can coexist on one environment.
+"""
+
+import pytest
+
+from repro.bench.runner import run_fig5_traced
+from repro.sim import Environment
+from repro.sim.spans import LatencyBreakdown, critical_path
+
+
+@pytest.fixture(scope="module")
+def rdma_rendezvous_run():
+    """64 KiB reads over verbs: every transfer takes the rendezvous path."""
+    return run_fig5_traced("rdma", "host", "read", 64 * 1024, 2,
+                           runtime=0.01, sample_every=10)
+
+
+@pytest.fixture(scope="module")
+def dpu_tcp_run():
+    """4 KiB randread through the DPU client: the paper's Fig. 5c bottom."""
+    return run_fig5_traced("tcp", "dpu", "randread", 4096, 16,
+                           runtime=0.005, sample_every=50)
+
+
+class TestRdmaRendezvousPropagation:
+    def test_trace_ids_survive_rpc_hop(self, rdma_rendezvous_run):
+        _, col, _ = rdma_rendezvous_run
+        complete = 0
+        for tid, spans in col.by_trace().items():
+            assert all(s.trace_id == tid for s in spans)
+            if not any(s.parent_id is None for s in spans):
+                continue  # request still in flight when the run ended
+            complete += 1
+            nodes = {s.node for s in spans if s.node}
+            # Client- and server-side spans under one trace id.
+            assert "host" in nodes
+            assert "storage" in nodes
+        assert complete > 5
+
+    def test_rendezvous_stages_present(self, rdma_rendezvous_run):
+        _, col, _ = rdma_rendezvous_run
+        stages = {s.stage for s in col.spans}
+        # 64 KiB > eager threshold: the server-side RDMA read shows up.
+        assert "storage.rdma.rendezvous" in stages
+        assert "rdma.dma" in stages
+        assert "media.nvme" in stages
+
+    def test_stages_sum_to_end_to_end(self, rdma_rendezvous_run):
+        _, col, _ = rdma_rendezvous_run
+        bd = LatencyBreakdown(col.spans)
+        assert bd.n_traces > 10
+        assert bd.coverage() >= 0.95
+
+    def test_critical_path_spans_both_nodes(self, rdma_rendezvous_run):
+        _, col, _ = rdma_rendezvous_run
+        grouped = col.by_trace()
+        # A fully captured trace: root present and all spans closed.
+        spans = next(v for v in grouped.values()
+                     if any(s.parent_id is None for s in v))
+        path = critical_path(spans)
+        assert path[0].parent_id is None
+        nodes = {s.node for s in path if s.node}
+        assert {"host", "storage"} <= nodes
+
+
+class TestDpuOffloadPropagation:
+    def test_trace_ids_survive_rpc_hop(self, dpu_tcp_run):
+        _, col, _ = dpu_tcp_run
+        complete = 0
+        for tid, spans in col.by_trace().items():
+            assert all(s.trace_id == tid for s in spans)
+            if not any(s.parent_id is None for s in spans):
+                continue  # request still in flight when the run ended
+            complete += 1
+            nodes = {s.node for s in spans if s.node}
+            assert "dpu" in nodes
+            assert "storage" in nodes
+        assert complete > 5
+
+    def test_arm_rx_stage_dominates(self, dpu_tcp_run):
+        _, col, _ = dpu_tcp_run
+        bd = LatencyBreakdown(col.spans)
+        assert bd.coverage() >= 0.95
+        # The paper's claim (Fig. 5c bottom / §4.4): the Arm TCP stack is
+        # the bottleneck for the DPU client on small random reads.
+        assert bd.top_stage() == "dpu.arm_rx"
+        shares = dict((k, share) for k, _t, share in bd.shares())
+        assert shares["dpu.arm_rx"] > 0.5
+
+    def test_sampling_honoured(self, dpu_tcp_run):
+        _, col, _ = dpu_tcp_run
+        assert col.requests_seen > col.traces_started
+        assert col.traces_started <= col.requests_seen // 50 + 1
+
+    def test_root_nbytes_recorded(self, dpu_tcp_run):
+        _, col, _ = dpu_tcp_run
+        for root in col.roots():
+            assert root.nbytes == 4096
+            assert root.name == "fio.randread"
+
+
+class TestConcurrentTracers:
+    def test_two_subscribers_both_receive_events(self):
+        env = Environment()
+        seen_a, seen_b = [], []
+        env.add_trace_subscriber(seen_a.append)
+        env.add_trace_subscriber(seen_b.append)
+
+        def proc(env):
+            yield env.timeout(1.0)
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert len(seen_a) == len(seen_b) > 0
+
+    def test_removing_one_keeps_the_other(self):
+        env = Environment()
+        seen_a, seen_b = [], []
+        env.add_trace_subscriber(seen_a.append)
+        env.add_trace_subscriber(seen_b.append)
+        env.remove_trace_subscriber(seen_a.append)
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert seen_a == []
+        assert len(seen_b) > 0
+
+    def test_remove_unknown_subscriber_is_noop(self):
+        env = Environment()
+        env.remove_trace_subscriber(lambda e: None)
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
