@@ -1,0 +1,223 @@
+"""Bench baselines and the regression gate behind ``cli compare``.
+
+The simulator is deterministic, so a committed baseline JSON pins every
+metric of a bench cell exactly; any code change that moves a headline
+number shows up as a diff, and CI fails the build when the move exceeds
+the metric's threshold *in the bad direction*.
+
+Format (``repro-baseline-v1``)::
+
+    {
+      "format": "repro-baseline-v1",
+      "label": "fig5 tcp/dpu randread ...",
+      "metrics": {
+        "result.iops": {"value": 181000.0, "threshold": 0.1,
+                        "direction": "higher_is_better"},
+        ...
+      }
+    }
+
+``direction`` decides what counts as a regression: throughput-style
+metrics regress when they drop, latency-style metrics when they rise,
+``informational`` metrics are reported but never gate.  Directions are
+inferred from metric names at baseline-write time (see
+:func:`classify_direction`) and stored explicitly, so a baseline is
+self-describing.
+
+Current results are any JSON document — the flattener walks nested
+dicts/lists and compares every numeric leaf present in the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.report import Table
+
+__all__ = [
+    "FORMAT",
+    "flatten_numeric",
+    "classify_direction",
+    "make_baseline",
+    "load_json",
+    "compare_to_baseline",
+    "Delta",
+    "render_deltas",
+]
+
+FORMAT = "repro-baseline-v1"
+
+HIGHER = "higher_is_better"
+LOWER = "lower_is_better"
+INFO = "informational"
+
+#: Name fragments that mark a metric's good direction.
+_HIGHER_PAT = re.compile(
+    r"(iops|bandwidth|throughput|ops_per_sec|bytes_per_sec|kiops|gib|"
+    r"total_ios|coverage)", re.IGNORECASE)
+_LOWER_PAT = re.compile(
+    r"(latency|sojourn|rel_err|p50|p95|p99|p999|_mean|mean_|per_op|"
+    r"staged_peak|backlog)", re.IGNORECASE)
+#: Configuration fields: identity, never compared as performance.
+_CONFIG_PAT = re.compile(
+    r"(spec\.|sample_every|requests_seen|traces_started|interval|"
+    r"ramp_time|runtime|\bnow\b|elapsed)", re.IGNORECASE)
+
+
+def classify_direction(path: str) -> str:
+    """Infer whether larger values of ``path`` are better, worse, or neither."""
+    if _CONFIG_PAT.search(path):
+        return INFO
+    if _HIGHER_PAT.search(path):
+        return HIGHER
+    if _LOWER_PAT.search(path):
+        return LOWER
+    return INFO
+
+
+def flatten_numeric(doc: object, prefix: str = "") -> Dict[str, float]:
+    """All numeric leaves of a JSON-ish document as ``dotted.path -> value``."""
+    out: Dict[str, float] = {}
+    if isinstance(doc, bool):  # bool is an int subclass; skip
+        return out
+    if isinstance(doc, (int, float)):
+        out[prefix or "value"] = float(doc)
+        return out
+    if isinstance(doc, dict):
+        for k in sorted(doc):
+            sub = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten_numeric(doc[k], sub))
+        return out
+    if isinstance(doc, list):
+        for i, item in enumerate(doc):
+            sub = f"{prefix}[{i}]"
+            out.update(flatten_numeric(item, sub))
+        return out
+    return out
+
+
+def make_baseline(results_doc: dict, label: str = "",
+                  default_threshold: float = 0.10,
+                  thresholds: Optional[Dict[str, float]] = None) -> dict:
+    """Snapshot a results document into a committed baseline.
+
+    ``thresholds`` maps regex patterns (matched against the metric path)
+    to per-metric relative thresholds; unmatched metrics get
+    ``default_threshold``.
+    """
+    compiled = [(re.compile(pat), thr) for pat, thr in (thresholds or {}).items()]
+    metrics = {}
+    for path, value in flatten_numeric(results_doc).items():
+        thr = default_threshold
+        for pat, t in compiled:
+            if pat.search(path):
+                thr = t
+                break
+        metrics[path] = {
+            "value": value,
+            "threshold": thr,
+            "direction": classify_direction(path),
+        }
+    return {"format": FORMAT, "label": label, "metrics": metrics}
+
+
+def load_json(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+@dataclass
+class Delta:
+    """One metric's movement against the baseline."""
+
+    path: str
+    baseline: float
+    current: float
+    direction: str
+    threshold: float
+    status: str  # "ok" | "improved" | "REGRESSED" | "info" | "missing"
+
+    @property
+    def rel_change(self) -> float:
+        """Signed relative change vs. the baseline (0 when baseline is 0)."""
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+def _status(direction: str, rel: float, threshold: float) -> str:
+    if direction == INFO:
+        return "info"
+    bad = -rel if direction == HIGHER else rel
+    if bad > threshold:
+        return "REGRESSED"
+    good = rel if direction == HIGHER else -rel
+    if good > threshold:
+        return "improved"
+    return "ok"
+
+
+def compare_to_baseline(current_doc: dict, baseline_doc: dict) -> List[Delta]:
+    """Diff a current results document against a committed baseline.
+
+    Every baseline metric is looked up in the flattened current document;
+    metrics the current run no longer produces are reported as
+    ``missing`` (and gate, like a regression — silently dropping a
+    headline metric must not pass CI).
+    """
+    if baseline_doc.get("format") != FORMAT:
+        raise ValueError(
+            f"not a {FORMAT} document (format={baseline_doc.get('format')!r})")
+    current = flatten_numeric(current_doc)
+    deltas: List[Delta] = []
+    for path in sorted(baseline_doc.get("metrics", {})):
+        spec = baseline_doc["metrics"][path]
+        base = float(spec["value"])
+        direction = spec.get("direction", INFO)
+        threshold = float(spec.get("threshold", 0.10))
+        if path not in current:
+            deltas.append(Delta(path, base, float("nan"), direction,
+                                threshold, "missing"))
+            continue
+        cur = current[path]
+        if base == 0.0:
+            rel = 0.0 if cur == 0.0 else (1.0 if cur > 0 else -1.0)
+        else:
+            rel = (cur - base) / abs(base)
+        deltas.append(Delta(path, base, cur, direction, threshold,
+                            _status(direction, rel, threshold)))
+    return deltas
+
+
+def render_deltas(deltas: List[Delta], title: str = "Baseline comparison",
+                  show_ok: bool = False) -> str:
+    """A printable diff table (regressions and misses always shown)."""
+    t = Table(title, ["baseline", "current", "change", "thr", "status"],
+              row_header="metric")
+    shown = 0
+    for d in deltas:
+        if not show_ok and d.status in ("ok", "info"):
+            continue
+        shown += 1
+        change = ("-" if d.current != d.current
+                  else f"{d.rel_change * 100:+.1f}%")
+        t.add_row(d.path, [
+            f"{d.baseline:.6g}",
+            "-" if d.current != d.current else f"{d.current:.6g}",
+            change,
+            f"{d.threshold * 100:.0f}%",
+            d.status,
+        ])
+    if shown == 0:
+        gated = sum(1 for d in deltas if d.direction != INFO)
+        return (f"{title}: {len(deltas)} metrics compared, "
+                f"{gated} gated, all within thresholds")
+    return t.render()
+
+
+def regressions(deltas: List[Delta]) -> List[Delta]:
+    """The deltas that must fail the gate (regressed or missing)."""
+    return [d for d in deltas if d.status in ("REGRESSED", "missing")]

@@ -6,7 +6,10 @@ writing code::
     python -m repro.bench.cli fig3 --rw read --bs 1m --jobs 4 --ssds 4
     python -m repro.bench.cli fig4 --provider ucx+rc --bs 4k --client-cores 4 --server-cores 4
     python -m repro.bench.cli fig5 --transport rdma --client dpu --rw randread --bs 4k --jobs 16
+    python -m repro.bench.cli fig5 --transport tcp --client dpu --rw randread --bs 4k \
+        --perfetto out.json --json-out results.json
     python -m repro.bench.cli trace --transport tcp --client dpu --rw randread --bs 4k
+    python -m repro.bench.cli compare results.json --baseline benchmarks/baselines/fig5_ci.json
     python -m repro.bench.cli providers
 
 Sizes accept ``4k``/``1m`` suffixes.  Output is one line per run in the
@@ -14,6 +17,14 @@ paper's units (GiB/s for >=64 KiB blocks, K IOPS otherwise).  ``trace``
 additionally prints the per-stage latency breakdown and one request's
 critical path; ``--telemetry`` (fig5/trace) appends the system utilization
 snapshot, ``--json`` (trace) emits everything machine-readable instead.
+
+``--perfetto PATH`` (fig5/trace) attaches the continuous telemetry
+sampler and writes a Chrome trace-event file — sampled request spans as
+duration events, every telemetry series as a counter track — loadable in
+Perfetto / ``chrome://tracing``.  ``fig5 --json-out PATH`` writes a
+compact metrics document; ``compare`` diffs such a document against a
+committed baseline (see :mod:`repro.bench.baseline`) and exits non-zero
+on regression, which is how CI gates headline numbers.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from repro.bench.runner import (
     run_fig3_cell,
     run_fig4_cell,
     run_fig5_cell,
+    run_fig5_observed,
     run_fig5_traced,
 )
 from repro.net.fabric import list_providers
@@ -88,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--runtime", type=float, default=None)
     p5.add_argument("--telemetry", action="store_true",
                     help="print the system utilization snapshot after the run")
+    p5.add_argument("--perfetto", metavar="PATH", default=None,
+                    help="attach continuous telemetry + request tracing and "
+                         "write a Chrome trace-event file (Perfetto)")
+    p5.add_argument("--json-out", metavar="PATH", default=None,
+                    help="write a compact metrics JSON for 'cli compare'")
+    p5.add_argument("--sample", type=int, default=20,
+                    help="trace 1 in N requests when instrumented (default 20)")
 
     pt = sub.add_parser(
         "trace",
@@ -108,9 +127,85 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the system utilization snapshot too")
     pt.add_argument("--json", action="store_true",
                     help="emit the run, breakdown and telemetry as JSON")
+    pt.add_argument("--perfetto", metavar="PATH", default=None,
+                    help="also attach continuous telemetry and write a "
+                         "Chrome trace-event file (Perfetto)")
+
+    pc = sub.add_parser(
+        "compare",
+        help="diff a results JSON against a committed baseline (CI gate)",
+    )
+    pc.add_argument("current", help="current results JSON (fig5 --json-out)")
+    pc.add_argument("--baseline", required=True,
+                    help="committed repro-baseline-v1 JSON")
+    pc.add_argument("--write-baseline", action="store_true",
+                    help="snapshot CURRENT into --baseline instead of comparing")
+    pc.add_argument("--threshold", type=float, default=0.10,
+                    help="default relative threshold when writing (default 0.10)")
+    pc.add_argument("--show-ok", action="store_true",
+                    help="show all compared metrics, not just the movers")
 
     sub.add_parser("providers", help="list fabric providers")
     return parser
+
+
+def _write_perfetto(path: str, collector, sampler, label: str) -> None:
+    """Write the Chrome trace-event file and report what it contains."""
+    from repro.sim.chrometrace import write_chrome_trace
+
+    spans = collector.spans if collector is not None else ()
+    doc = write_chrome_trace(path, spans=spans, sampler=sampler, label=label)
+    other = doc.get("otherData", {})
+    print(f"wrote Perfetto trace {path}: {other.get('n_spans', 0)} spans, "
+          f"{other.get('n_counter_tracks', 0)} counter tracks "
+          f"({len(doc['traceEvents'])} events)")
+
+
+def _fig5_metrics_doc(run, label: str) -> dict:
+    """The compact metrics document ``compare`` gates on.
+
+    Headline FIO numbers plus the self-check and attribution summaries —
+    deliberately *not* the raw series (thousands of points would make
+    baselines unreviewable diffs).
+    """
+    return {
+        "format": "repro-fig5-v1",
+        "label": label,
+        "spec": {"rw": run.spec.rw, "bs": run.spec.bs,
+                 "numjobs": run.spec.numjobs, "iodepth": run.spec.iodepth,
+                 "runtime": run.spec.runtime},
+        "result": run.result.to_dict(),
+        "busiest_by_phase": run.timeline.busiest_by_phase(),
+        "littles_law": run.timeline.littles_law(),
+    }
+
+
+def _run_compare(args) -> int:
+    import json
+
+    from repro.bench import baseline as bl
+
+    current = bl.load_json(args.current)
+    if args.write_baseline:
+        doc = bl.make_baseline(current, label=str(current.get("label", "")),
+                               default_threshold=args.threshold)
+        with open(args.baseline, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {args.baseline} "
+              f"({len(doc['metrics'])} metrics, "
+              f"default threshold {args.threshold * 100:.0f}%)")
+        return 0
+    base = bl.load_json(args.baseline)
+    deltas = bl.compare_to_baseline(current, base)
+    title = f"Baseline comparison — {base.get('label') or args.baseline}"
+    print(bl.render_deltas(deltas, title=title, show_ok=args.show_ok))
+    bad = bl.regressions(deltas)
+    if bad:
+        print(f"\nFAIL: {len(bad)} metric(s) regressed or missing",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_trace(args) -> int:
@@ -119,13 +214,21 @@ def _run_trace(args) -> int:
     numjobs = args.jobs
     if numjobs is None:
         numjobs = 8 if args.bs >= 1024**2 else 16
-    result, collector, system = run_fig5_traced(
-        args.transport, args.client, args.rw, args.bs, numjobs,
-        n_ssds=args.ssds, runtime=args.runtime, sample_every=args.sample,
-    )
-    breakdown = LatencyBreakdown(collector.spans)
     label = (f"trace {args.transport}/{args.client} {args.rw} bs={args.bs} "
              f"jobs={numjobs} ssds={args.ssds}")
+    if args.perfetto:
+        run = run_fig5_observed(
+            args.transport, args.client, args.rw, args.bs, numjobs,
+            n_ssds=args.ssds, runtime=args.runtime, sample_every=args.sample,
+        )
+        result, collector, system = run.result, run.collector, run.system
+        _write_perfetto(args.perfetto, collector, run.sampler, label)
+    else:
+        result, collector, system = run_fig5_traced(
+            args.transport, args.client, args.rw, args.bs, numjobs,
+            n_ssds=args.ssds, runtime=args.runtime, sample_every=args.sample,
+        )
+    breakdown = LatencyBreakdown(collector.spans)
 
     if args.json:
         import json
@@ -175,6 +278,9 @@ def main(argv: Optional[list] = None) -> int:
             print(name)
         return 0
 
+    if args.experiment == "compare":
+        return _run_compare(args)
+
     if args.experiment == "trace":
         return _run_trace(args)
 
@@ -189,6 +295,30 @@ def main(argv: Optional[list] = None) -> int:
         label = (f"fig4 {args.provider} {args.rw} bs={args.bs} "
                  f"c={args.client_cores} s={args.server_cores}")
     else:
+        label = (f"fig5 {args.transport}/{args.client} {args.rw} bs={args.bs} "
+                 f"jobs={args.jobs} ssds={args.ssds}")
+        if args.perfetto or args.json_out:
+            # Full observability stack: continuous telemetry + tracing.
+            run = run_fig5_observed(args.transport, args.client, args.rw,
+                                    args.bs, args.jobs, n_ssds=args.ssds,
+                                    runtime=args.runtime,
+                                    sample_every=args.sample)
+            print(f"{label}: {_report(run.result)}")
+            if args.perfetto:
+                _write_perfetto(args.perfetto, run.collector, run.sampler,
+                                label)
+            if args.json_out:
+                import json
+
+                with open(args.json_out, "w") as fh:
+                    json.dump(_fig5_metrics_doc(run, label), fh,
+                              indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote metrics {args.json_out}")
+            if args.telemetry:
+                print("\n" + run.timeline.report.render())
+                print("\n" + run.timeline.render())
+            return 0
         if args.telemetry:
             # Keep the system around so we can snapshot its utilization.
             from repro.bench.runner import _build_fig5, run_ros2_fio
@@ -203,8 +333,6 @@ def main(argv: Optional[list] = None) -> int:
             result = run_fig5_cell(args.transport, args.client, args.rw,
                                    args.bs, args.jobs, n_ssds=args.ssds,
                                    runtime=args.runtime)
-        label = (f"fig5 {args.transport}/{args.client} {args.rw} bs={args.bs} "
-                 f"jobs={args.jobs} ssds={args.ssds}")
 
     print(f"{label}: {_report(result)}")
     if args.experiment == "fig5" and args.telemetry and system is not None:

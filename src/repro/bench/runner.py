@@ -16,13 +16,14 @@ testbed.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core import Ros2Config, Ros2System
 from repro.hw.platform import make_paper_testbed
 from repro.hw.specs import MIB
 from repro.net import Fabric
-from repro.sim import Environment, SpanCollector
+from repro.sim import Environment, Sampler, SpanCollector
 from repro.storage import BlockDevice, IoUringEngine, NvmfInitiator, NvmfTarget
 from repro.workload.fio import FioJobSpec, FioResult, run_fio
 
@@ -31,6 +32,8 @@ __all__ = [
     "run_fig4_cell",
     "run_fig5_cell",
     "run_fig5_traced",
+    "run_fig5_observed",
+    "ObservedRun",
     "run_ros2_fio",
     "default_iodepth",
 ]
@@ -290,3 +293,67 @@ def run_fig5_traced(
     collector = SpanCollector(system.env, sample_every=sample_every)
     result = run_ros2_fio(system, spec, collector=collector)
     return result, collector, system
+
+
+@dataclass
+class ObservedRun:
+    """Everything a fully-instrumented Fig. 5 cell produces.
+
+    ``timeline`` is the :class:`~repro.core.telemetry.SystemTimeline`
+    (snapshot + sampled series + phase attribution); ``collector`` holds
+    the sampled request spans; both feed the Perfetto exporter.
+    """
+
+    result: FioResult
+    collector: Optional[SpanCollector]
+    sampler: Sampler
+    timeline: "object"  # SystemTimeline (avoid a bench->core type cycle here)
+    system: Ros2System
+    spec: FioJobSpec
+
+
+def run_fig5_observed(
+    provider: str,
+    client: str,
+    rw: str,
+    bs: int,
+    numjobs: int,
+    n_ssds: int = 1,
+    iodepth: Optional[int] = None,
+    runtime: Optional[float] = None,
+    sample_every: Optional[int] = 20,
+    sample_interval: Optional[float] = None,
+    drain: Optional[float] = None,
+) -> ObservedRun:
+    """A Fig. 5 cell with the full observability stack attached.
+
+    Continuous telemetry (the standard probe set) samples from *t = 0*,
+    so the timeline covers setup/prefill (warmup), the measured window
+    (steady state), and — after the FIO stop flag — a ``drain`` window in
+    which in-flight operations complete and queues empty.  Request spans
+    are sampled 1-in-``sample_every`` (``None`` disables tracing).
+
+    ``sample_interval`` defaults to 1/400 of the measured FIO window, a
+    resolution at which the Little's-law self-check holds within a few
+    percent while the bounded series still cover multi-second runs.
+    """
+    from repro.core.telemetry import SystemTimeline, observe, snapshot
+
+    system, spec = _build_fig5(provider, client, rw, bs, numjobs,
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+    if sample_interval is None:
+        sample_interval = (spec.ramp_time + spec.runtime) / 400.0
+    sampler = observe(system, interval=sample_interval)
+    collector = (SpanCollector(system.env, sample_every=sample_every)
+                 if sample_every else None)
+    result = run_ros2_fio(system, spec, collector=collector)
+    t_end = system.env.now
+    if drain is None:
+        drain = spec.runtime * 0.25
+    if drain > 0:
+        system.env.run(until=t_end + drain)
+    sampler.stop()
+    timeline = SystemTimeline(snapshot(system), sampler)
+    timeline.set_phases(warmup_end=t_end - spec.runtime, steady_end=t_end)
+    return ObservedRun(result=result, collector=collector, sampler=sampler,
+                       timeline=timeline, system=system, spec=spec)

@@ -47,7 +47,13 @@ class DataPlane:
         )
         self.reads = RateMeter(self.env, f"{node.name}.dp.reads")
         self.writes = RateMeter(self.env, f"{node.name}.dp.writes")
-        self.staged = Gauge(self.env, f"{node.name}.dp.staged")
+
+    @property
+    def staged(self) -> Gauge:
+        """The staging pool's occupancy gauge (level, time-weighted mean,
+        and the :meth:`~repro.sim.monitor.Gauge.max` watermark used for
+        peak tracking — no ad-hoc peak fields)."""
+        return self._pool.occupancy
 
     @property
     def is_rdma(self) -> bool:
@@ -70,15 +76,13 @@ class DataPlane:
         if trace is not None:
             span = trace.child("dp.stage", node=self.node.name, nbytes=nbytes)
         alloc = yield from self._pool.alloc(nbytes)
-        self.staged.set(self._pool.used_bytes)
         if span is not None:
             span.finish()
         return alloc
 
     def release(self, alloc: Allocation) -> None:
-        """Return a staging buffer."""
+        """Return a staging buffer (occupancy tracked by the pool's gauge)."""
         alloc.free()
-        self.staged.set(self._pool.used_bytes)
 
     def record_read(self, nbytes: int) -> None:
         """Account one completed read payload."""

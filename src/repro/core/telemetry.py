@@ -1,4 +1,4 @@
-"""System-wide telemetry: one snapshot of every component's utilization.
+"""System-wide telemetry: snapshots *and* continuous time series.
 
 Operating a storage system means knowing where the time went.  This
 module walks an assembled :class:`~repro.core.ros2.Ros2System` and
@@ -6,17 +6,35 @@ produces a structured report — per-node CPU and lock utilizations, NIC
 port throughput, NVMe device busy fractions, engine xstream load, data
 plane counters, tenancy stats — the same numbers the benches used when
 diagnosing bottlenecks, packaged as a public API (and a printable table).
+
+On top of the point-in-time :class:`SystemReport`, :func:`observe`
+attaches a :class:`~repro.sim.timeseries.Sampler` with the standard probe
+set (CPU pools, Arm TCP-RX cores, lock sections, NVMe queue depth and
+busy fraction, NIC occupancy and byte rates, engine xstreams, data-plane
+staging and byte rates, in-flight RPCs), and :class:`SystemTimeline`
+packages the final snapshot with the sampled curves and windowed
+busiest-component attribution (warmup vs. steady state vs. drain) — the
+view in which the paper's temporal phenomena, like the DPU Arm-RX
+bottleneck of Fig. 5, actually show up.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.bench.report import Table
+from repro.sim.timeseries import GAUGE, RATE, UTILIZATION, Sampler, StationStats
 
-__all__ = ["SystemReport", "snapshot"]
+__all__ = [
+    "SystemReport",
+    "snapshot",
+    "install_probes",
+    "observe",
+    "PhaseWindow",
+    "SystemTimeline",
+]
 
 GIB = 2**30
 
@@ -58,7 +76,12 @@ class SystemReport:
     tenant_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def busiest_component(self) -> str:
-        """Name of the most utilized station (a bottleneck hint)."""
+        """Name of the most utilized station (a bottleneck hint).
+
+        Deterministic: on equal utilization the lexicographically smallest
+        name wins, and an all-idle report (every utilization zero) returns
+        ``"idle"`` rather than an arbitrary max.
+        """
         candidates = []
         for n in self.nodes:
             candidates.append((n.cpu_utilization, f"{n.name}.cpu"))
@@ -70,7 +93,10 @@ class SystemReport:
         candidates.append((self.xstream_utilization, "engine.xstreams"))
         if not candidates:
             return "idle"
-        return max(candidates)[1]
+        best_util = max(u for u, _name in candidates)
+        if best_util <= 0.0:
+            return "idle"
+        return min(name for u, name in candidates if u == best_util)
 
     def to_dict(self) -> dict:
         """The whole snapshot as plain dicts/lists (JSON-serialisable)."""
@@ -152,3 +178,206 @@ def snapshot(system) -> SystemReport:
         for name in system.service.tenants.tenants()
     }
     return report
+
+
+# ---------------------------------------------------------------------------
+# Continuous telemetry: the standard probe set + the timeline view
+# ---------------------------------------------------------------------------
+
+def install_probes(system, sampler: Sampler) -> Sampler:
+    """Register the standard probe set for an assembled Ros2System.
+
+    One call wires every station :func:`snapshot` reports — plus the
+    queueing stations behind the Little's-law self-check — into
+    ``sampler``:
+
+    * per node: CPU-pool busy fraction, the restricted TCP-RX core set
+      (the DPU's Arm RX path), every serialized section existing at
+      attach time (``tcp_stack`` is pre-created so the hot one is never
+      missed), NIC TX/RX occupancy and byte rates;
+    * per NVMe device: busy fraction and queue depth (a
+      :class:`~repro.sim.timeseries.StationStats` attached to the command
+      queue, also checked against ``L = λW``);
+    * engine: mean xstream busy fraction and the in-flight RPC station;
+    * data plane: staged bytes and read/write byte rates;
+    * client: the submission CPU-pool station.
+    """
+    seen = set()
+    for node in [system.client_node, system.server_node, system.launcher_node]:
+        if node.name in seen:
+            continue
+        seen.add(node.name)
+        name = node.name
+        cpu = node.cpu
+        sampler.add_probe(f"{name}.cpu.busy",
+                          lambda c=cpu: c.busy_time / c.n_cores,
+                          kind=UTILIZATION, node=name)
+        rx = node.tcp_rx_cpu
+        sampler.add_probe(f"{name}.tcp_rx.busy",
+                          lambda r=rx: r.busy_time / r.n_cores,
+                          kind=UTILIZATION, node=name)
+        node.lock("tcp_stack")  # ensure the hottest section exists
+        for lname, sec in node._locks.items():
+            sampler.add_probe(f"{name}.lock.{lname}.busy",
+                              lambda s=sec: s.busy_time,
+                              kind=UTILIZATION, node=name)
+        port = getattr(node, "port", None)
+        if port is not None:
+            sampler.add_probe(f"{name}.nic.tx.busy",
+                              lambda p=port: p.tx.busy_time,
+                              kind=UTILIZATION, node=name)
+            sampler.add_probe(f"{name}.nic.rx.busy",
+                              lambda p=port: p.rx.busy_time,
+                              kind=UTILIZATION, node=name)
+            sampler.add_probe(f"{name}.nic.tx.bytes",
+                              lambda p=port: float(p.bytes_sent()),
+                              kind=RATE, unit="B/s", node=name)
+            sampler.add_probe(f"{name}.nic.rx.bytes",
+                              lambda p=port: float(p.bytes_received()),
+                              kind=RATE, unit="B/s", node=name)
+
+    server = system.server_node
+    for dev in server.nvme.devices:
+        dname = f"nvme{dev.index}"
+        sampler.add_probe(f"{dname}.busy", lambda d=dev: d.busy_time,
+                          kind=UTILIZATION, node=server.name)
+        stats = StationStats(dname)
+        dev.attach_stats(stats)
+        sampler.add_station(dname, stats, node=server.name)
+
+    engine = system.engine
+    sampler.add_probe(
+        "engine.xstreams.busy",
+        lambda e=engine: sum(t.xstream.busy_time for t in e.targets) / e.n_targets,
+        kind=UTILIZATION, node=server.name,
+    )
+    rpc_stats = StationStats("engine.rpc")
+    engine.rpc.attach_stats(rpc_stats)
+    sampler.add_station("engine.rpc", rpc_stats, node=server.name)
+
+    dp = system.service.data_plane
+    cname = system.client_node.name
+    sampler.add_probe(f"{cname}.dp.staged", lambda d=dp: d.staged.level,
+                      kind=GAUGE, unit="bytes", node=cname)
+    sampler.add_probe(f"{cname}.dp.read.bytes",
+                      lambda d=dp: float(d.reads.bytes),
+                      kind=RATE, unit="B/s", node=cname)
+    sampler.add_probe(f"{cname}.dp.write.bytes",
+                      lambda d=dp: float(d.writes.bytes),
+                      kind=RATE, unit="B/s", node=cname)
+    client_stats = StationStats(f"{cname}.cpu")
+    system.client_node.cpu.attach_stats(client_stats)
+    sampler.add_station(f"{cname}.cpu", client_stats, node=cname)
+    return sampler
+
+
+def observe(system, interval: float = 1e-4, capacity: int = 512) -> Sampler:
+    """Attach and start the standard sampler on a running system.
+
+    ``interval`` is the sampling period in simulated seconds; ``capacity``
+    bounds every series (older windows merge pairwise past it).  Returns
+    the started :class:`~repro.sim.timeseries.Sampler`.
+    """
+    sampler = Sampler(system.env, interval=interval, capacity=capacity)
+    install_probes(system, sampler)
+    return sampler.start()
+
+
+@dataclass
+class PhaseWindow:
+    """One named slice of the run's timeline."""
+
+    name: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class SystemTimeline:
+    """A :class:`SystemReport` grown over time.
+
+    Bundles the end-of-run snapshot with the sampled series and a phase
+    decomposition (by default warmup → steady state → drain), answering
+    the questions a single snapshot cannot: *when* did the bottleneck
+    move, which component capped each phase, did queues drain.
+    """
+
+    def __init__(self, report: SystemReport, sampler: Sampler,
+                 phases: Optional[List[PhaseWindow]] = None) -> None:
+        self.report = report
+        self.sampler = sampler
+        self.phases: List[PhaseWindow] = phases or []
+
+    def set_phases(self, warmup_end: float, steady_end: float,
+                   t_end: Optional[float] = None) -> "SystemTimeline":
+        """Standard three-phase decomposition of a bench run.
+
+        ``[start, warmup_end]`` is warmup (setup, prefill, FIO ramp),
+        ``[warmup_end, steady_end]`` the measured steady state, and
+        ``[steady_end, t_end]`` the drain of in-flight operations.
+        """
+        t0 = self.sampler.t_start
+        if t0 != t0:  # NaN — sampler never started
+            t0 = 0.0
+        end = self.sampler.env.now if t_end is None else t_end
+        self.phases = [PhaseWindow("warmup", t0, warmup_end),
+                       PhaseWindow("steady", warmup_end, steady_end)]
+        if end > steady_end:
+            self.phases.append(PhaseWindow("drain", steady_end, end))
+        return self
+
+    def busiest_by_phase(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase busiest component (utilization series only)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for ph in self.phases:
+            name, util = self.sampler.busiest(ph.t0, ph.t1)
+            out[ph.name] = {"component": name, "utilization": util,
+                            "t0": ph.t0, "t1": ph.t1}
+        return out
+
+    def littles_law(self, tolerance: float = 0.05,
+                    min_arrivals: int = 50) -> Dict[str, dict]:
+        """Delegate to :meth:`~repro.sim.timeseries.Sampler.littles_law`."""
+        return self.sampler.littles_law(tolerance=tolerance,
+                                        min_arrivals=min_arrivals)
+
+    def series(self, name: str):
+        """One sampled series by probe name."""
+        return self.sampler.series[name]
+
+    def to_dict(self) -> dict:
+        return {
+            "report": self.report.to_dict(),
+            "phases": [asdict(p) for p in self.phases],
+            "busiest_by_phase": self.busiest_by_phase(),
+            "littles_law": self.littles_law(),
+            "sampler": self.sampler.to_dict(),
+        }
+
+    def render(self) -> str:
+        """Printable phase-attribution + Little's-law tables."""
+        phases = Table("Timeline — busiest component per phase",
+                       ["window [s]", "component", "mean util"],
+                       row_header="phase")
+        for ph in self.phases:
+            name, util = self.sampler.busiest(ph.t0, ph.t1)
+            phases.add_row(ph.name, [
+                f"{ph.t0:.4f}..{ph.t1:.4f}",
+                name,
+                f"{util * 100:.0f}%",
+            ])
+        law = Table("Little's law self-check (L = λW per station)",
+                    ["L sampled", "λ [1/s]", "W [us]", "λW", "rel err"],
+                    row_header="station")
+        for name, row in self.littles_law().items():
+            law.add_row(name + ("" if row["checked"] else " (unchecked)"), [
+                f"{row['L_sampled']:.3f}",
+                f"{row['lambda']:.0f}",
+                f"{row['W'] * 1e6:.2f}",
+                f"{row['lambda_W']:.3f}",
+                f"{row['rel_err'] * 100:.1f}%",
+            ])
+        return phases.render() + "\n\n" + law.render()

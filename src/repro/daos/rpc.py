@@ -44,6 +44,19 @@ class RpcServer:
         self._handlers: Dict[str, Callable] = {}
         self._loops: list = []
         self.requests_served = 0
+        #: In-flight request count (dispatched, reply not yet sent).
+        self.inflight = 0
+        #: Optional telemetry station (attached only while sampling).
+        self.stats = None
+
+    def attach_stats(self, stats) -> None:
+        """Attach a :class:`~repro.sim.timeseries.StationStats` recorder.
+
+        Every dispatched request then reports arrival and sojourn
+        (dispatch to reply-sent), powering the in-flight-RPC counter track
+        and the Little's-law self-check on the RPC station.
+        """
+        self.stats = stats
 
     def register(self, opcode: str, handler: Callable) -> None:
         """Register ``handler(args, src, channel) -> generator`` for ``opcode``."""
@@ -72,6 +85,19 @@ class RpcServer:
             self.env.process(self._dispatch(channel, msg), name="rpc-handler")
 
     def _dispatch(self, channel: FabricChannel, msg: Message):
+        self.inflight += 1
+        st = self.stats
+        if st is not None:
+            st.arrive()
+        t0 = self.env.now
+        try:
+            yield from self._dispatch_inner(channel, msg)
+        finally:
+            self.inflight -= 1
+            if st is not None:
+                st.depart(self.env.now - t0)
+
+    def _dispatch_inner(self, channel: FabricChannel, msg: Message):
         opcode = msg.payload.get("op")
         args = msg.payload.get("args", {})
         handler = self._handlers.get(opcode)

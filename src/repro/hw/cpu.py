@@ -70,6 +70,10 @@ class CpuPool:
         """Seconds until a core frees up (0 when any core is idle)."""
         return self._pool.backlog()
 
+    def attach_stats(self, stats) -> None:
+        """Attach a telemetry station (in-flight work items, Little's law)."""
+        self._pool.attach_stats(stats)
+
 
 class SerializedSection:
     """A host-wide serialized code path (lock, single progress thread).

@@ -16,6 +16,9 @@ dependency of this project).  It provides:
   latency breakdowns, critical paths).
 * :mod:`repro.sim.hist` — bounded-memory log-bucketed latency histograms.
 * :mod:`repro.sim.export` — Prometheus-text and JSON metric exporters.
+* :mod:`repro.sim.timeseries` — the continuous telemetry bus (probes,
+  bounded downsampling ring buffers, Little's-law self-check).
+* :mod:`repro.sim.chrometrace` — Chrome trace-event / Perfetto export.
 
 Time is a ``float`` in **seconds**.  All hardware models in
 :mod:`repro.hw` build directly on these primitives.
@@ -43,6 +46,7 @@ from repro.sim.spans import (
     Trace,
     critical_path,
 )
+from repro.sim.timeseries import Probe, Sampler, StationStats, TimeSeries
 from repro.sim.trace import Tracer, TraceRecord
 
 __all__ = [
@@ -61,14 +65,18 @@ __all__ = [
     "LogHistogram",
     "Monitor",
     "PriorityResource",
+    "Probe",
     "Process",
     "RateMeter",
     "Resource",
     "RngStreams",
+    "Sampler",
     "SimulationError",
     "Span",
     "SpanCollector",
+    "StationStats",
     "Store",
+    "TimeSeries",
     "Timeout",
     "Trace",
     "TraceRecord",

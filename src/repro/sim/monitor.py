@@ -8,7 +8,7 @@ recommend (measure first, never in the hot loop).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -38,15 +38,18 @@ class Gauge:
     """A time-weighted level (queue depth, buffer occupancy).
 
     :meth:`set` records the new level; :meth:`mean` integrates the level
-    over time.
+    over time; :meth:`max` is the resettable high-watermark used for
+    staged-buffer peak tracking (no ad-hoc peak fields elsewhere).
     """
 
-    __slots__ = ("name", "env", "_level", "_last_t", "_area", "_max")
+    __slots__ = ("name", "env", "_level", "_t0", "_last_t", "_area", "_max")
 
     def __init__(self, env: Environment, name: str, initial: float = 0.0) -> None:
         self.env = env
         self.name = name
         self._level = float(initial)
+        #: Creation time — the start of the integration window.
+        self._t0 = env.now
         self._last_t = env.now
         self._area = 0.0
         self._max = float(initial)
@@ -58,7 +61,7 @@ class Gauge:
 
     @property
     def peak(self) -> float:
-        """Maximum level observed."""
+        """Maximum level observed (alias of :meth:`max`)."""
         return self._max
 
     def set(self, level: float) -> None:
@@ -74,10 +77,30 @@ class Gauge:
         """Adjust the level by ``delta``."""
         self.set(self._level + delta)
 
-    def mean(self, since: float = 0.0) -> float:
-        """Time-weighted mean level from ``since`` until now."""
+    def max(self) -> float:
+        """High-watermark: the largest level seen since the last reset."""
+        return self._max
+
+    def reset_max(self) -> float:
+        """Restart watermark tracking from the current level; returns the old."""
+        old = self._max
+        self._max = self._level
+        return old
+
+    def mean(self, since: Optional[float] = None) -> float:
+        """Time-weighted mean level over ``[since, now]``.
+
+        ``since`` defaults to the gauge's creation time (integration never
+        covers time the gauge did not exist; earlier values are clamped,
+        and values after creation shorten the divisor but keep the full
+        accumulated area — use :class:`~repro.sim.timeseries.TimeSeries`
+        for true windowed means).  A zero-elapsed window is well-defined:
+        it returns the current level — the only value the gauge has held
+        "so far".
+        """
         now = self.env.now
-        span = now - since
+        t0 = self._t0 if since is None else max(since, self._t0)
+        span = now - t0
         if span <= 0:
             return self._level
         area = self._area + self._level * (now - self._last_t)

@@ -41,7 +41,7 @@ class FifoServer:
     next becomes free).
     """
 
-    __slots__ = ("env", "rate", "_free_at", "busy_time", "ops")
+    __slots__ = ("env", "rate", "_free_at", "busy_time", "ops", "_stats")
 
     def __init__(self, env: Environment, rate: Optional[float] = None) -> None:
         self.env = env
@@ -52,6 +52,18 @@ class FifoServer:
         self.busy_time = 0.0
         #: Number of operations served.
         self.ops = 0
+        #: Optional telemetry station (attached only while sampling).
+        self._stats = None
+
+    def attach_stats(self, stats) -> None:
+        """Attach a :class:`~repro.sim.timeseries.StationStats` recorder.
+
+        The hot loop pays one ``is not None`` test when detached; with a
+        recorder attached every reservation reports its arrival and
+        (analytically known) completion time, feeding the in-flight gauge
+        and the Little's-law self-check.
+        """
+        self._stats = stats
 
     @property
     def free_at(self) -> float:
@@ -73,6 +85,8 @@ class FifoServer:
         self._free_at = done
         self.busy_time += duration
         self.ops += 1
+        if self._stats is not None:
+            self._stats.record(now, done)
         return self.env.timeout(done - now)
 
     def serve_units(self, units: float) -> Timeout:
@@ -96,7 +110,7 @@ class PooledServer:
     pool under non-preemptive dispatch.
     """
 
-    __slots__ = ("env", "n", "_free", "busy_time", "ops")
+    __slots__ = ("env", "n", "_free", "busy_time", "ops", "_stats")
 
     def __init__(self, env: Environment, n: int) -> None:
         if n <= 0:
@@ -107,6 +121,12 @@ class PooledServer:
         heapq.heapify(self._free)
         self.busy_time = 0.0
         self.ops = 0
+        #: Optional telemetry station (attached only while sampling).
+        self._stats = None
+
+    def attach_stats(self, stats) -> None:
+        """Attach a :class:`~repro.sim.timeseries.StationStats` recorder."""
+        self._stats = stats
 
     @property
     def earliest_free(self) -> float:
@@ -124,6 +144,8 @@ class PooledServer:
         heapq.heappush(self._free, done)
         self.busy_time += duration
         self.ops += 1
+        if self._stats is not None:
+            self._stats.record(now, done)
         return self.env.timeout(done - now)
 
     def backlog(self) -> float:

@@ -1,0 +1,188 @@
+"""Unit tests for the bench regression gate (bench/baseline.py + cli compare)."""
+
+import json
+
+import pytest
+
+from repro.bench.baseline import (
+    FORMAT,
+    HIGHER,
+    INFO,
+    LOWER,
+    classify_direction,
+    compare_to_baseline,
+    flatten_numeric,
+    make_baseline,
+    regressions,
+    render_deltas,
+)
+from repro.bench.cli import main
+
+
+# ---------------------------------------------------------------------------
+# Flattening + direction inference
+# ---------------------------------------------------------------------------
+
+def test_flatten_numeric_walks_nested_docs():
+    doc = {"a": 1, "b": {"c": 2.5, "d": [3, {"e": 4}]},
+           "s": "text", "flag": True, "none": None}
+    flat = flatten_numeric(doc)
+    assert flat == {"a": 1.0, "b.c": 2.5, "b.d[0]": 3.0, "b.d[1].e": 4.0}
+
+
+def test_flatten_numeric_scalar_root():
+    assert flatten_numeric(7) == {"value": 7.0}
+    assert flatten_numeric(True) == {}
+
+
+def test_classify_direction():
+    assert classify_direction("result.iops") == HIGHER
+    assert classify_direction("result.bandwidth_gib") == HIGHER
+    assert classify_direction("breakdown.p99_us") == LOWER
+    assert classify_direction("littles_law.nvme0.rel_err") == LOWER
+    assert classify_direction("spec.bs") == INFO          # config identity
+    assert classify_direction("some.unknown.count") == INFO
+    # Config wins even when a perf fragment also matches.
+    assert classify_direction("spec.iops_target") == INFO
+
+
+# ---------------------------------------------------------------------------
+# Baseline construction + comparison
+# ---------------------------------------------------------------------------
+
+RESULTS = {
+    "label": "cell",
+    "result": {"iops": 1000.0, "latency_p99": 2.0, "total_ios": 500},
+    "spec": {"bs": 4096},
+}
+
+
+def test_make_baseline_is_self_describing():
+    doc = make_baseline(RESULTS, label="cell", default_threshold=0.1,
+                        thresholds={r"latency": 0.02})
+    assert doc["format"] == FORMAT
+    m = doc["metrics"]
+    assert m["result.iops"] == {"value": 1000.0, "threshold": 0.1,
+                                "direction": HIGHER}
+    assert m["result.latency_p99"]["threshold"] == 0.02
+    assert m["result.latency_p99"]["direction"] == LOWER
+    assert m["spec.bs"]["direction"] == INFO
+
+
+def _deltas(current):
+    base = make_baseline(RESULTS, default_threshold=0.1)
+    return {d.path: d for d in compare_to_baseline(current, base)}
+
+
+def test_compare_identical_is_all_ok():
+    d = _deltas(RESULTS)
+    assert {x.status for x in d.values()} <= {"ok", "info"}
+    assert regressions(list(d.values())) == []
+
+
+def test_compare_flags_bad_direction_moves_only():
+    current = json.loads(json.dumps(RESULTS))
+    current["result"]["iops"] = 800.0        # -20% throughput: bad
+    current["result"]["latency_p99"] = 1.0   # -50% latency: good
+    d = _deltas(current)
+    assert d["result.iops"].status == "REGRESSED"
+    assert d["result.latency_p99"].status == "improved"
+    assert [x.path for x in regressions(list(d.values()))] == ["result.iops"]
+
+
+def test_compare_latency_rise_regresses():
+    current = json.loads(json.dumps(RESULTS))
+    current["result"]["latency_p99"] = 3.0   # +50%
+    d = _deltas(current)
+    assert d["result.latency_p99"].status == "REGRESSED"
+
+
+def test_compare_within_threshold_is_ok():
+    current = json.loads(json.dumps(RESULTS))
+    current["result"]["iops"] = 950.0        # -5% < 10% threshold
+    assert _deltas(current)["result.iops"].status == "ok"
+
+
+def test_compare_missing_metric_gates():
+    current = json.loads(json.dumps(RESULTS))
+    del current["result"]["iops"]
+    d = _deltas(current)
+    assert d["result.iops"].status == "missing"
+    assert any(x.path == "result.iops"
+               for x in regressions(list(d.values())))
+
+
+def test_compare_info_metrics_never_gate():
+    current = json.loads(json.dumps(RESULTS))
+    current["spec"]["bs"] = 8192             # config change: reported only
+    d = _deltas(current)
+    assert d["spec.bs"].status == "info"
+    assert regressions(list(d.values())) == []
+
+
+def test_compare_zero_baseline_edge():
+    base = make_baseline({"result": {"iops": 0.0}})
+    deltas = compare_to_baseline({"result": {"iops": 5.0}}, base)
+    assert deltas[0].rel_change == float("inf")
+
+
+def test_compare_rejects_wrong_format():
+    with pytest.raises(ValueError):
+        compare_to_baseline({}, {"format": "something-else"})
+
+
+def test_render_deltas_mentions_movers_and_quiet_when_clean():
+    base = make_baseline(RESULTS, default_threshold=0.1)
+    clean = render_deltas(compare_to_baseline(RESULTS, base))
+    assert "within thresholds" in clean
+    current = json.loads(json.dumps(RESULTS))
+    current["result"]["iops"] = 500.0
+    noisy = render_deltas(compare_to_baseline(current, base))
+    assert "result.iops" in noisy and "REGRESSED" in noisy
+
+
+# ---------------------------------------------------------------------------
+# CLI: write-baseline + compare exit codes (the CI gate)
+# ---------------------------------------------------------------------------
+
+def _write(path, doc):
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+
+
+def test_cli_compare_roundtrip_and_injected_regression(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    base = tmp_path / "base.json"
+    _write(cur, RESULTS)
+
+    # 1. Snapshot the baseline.
+    assert main(["compare", str(cur), "--baseline", str(base),
+                 "--write-baseline"]) == 0
+    assert json.loads(base.read_text())["format"] == FORMAT
+
+    # 2. Self-compare passes.
+    assert main(["compare", str(cur), "--baseline", str(base)]) == 0
+
+    # 3. An injected 20% throughput regression fails the gate.
+    regressed = json.loads(json.dumps(RESULTS))
+    regressed["result"]["iops"] *= 0.8
+    bad = tmp_path / "bad.json"
+    _write(bad, regressed)
+    capsys.readouterr()
+    assert main(["compare", str(bad), "--baseline", str(base)]) == 1
+    out = capsys.readouterr()
+    assert "result.iops" in out.out and "REGRESSED" in out.out
+    assert "FAIL" in out.err
+
+
+def test_cli_compare_against_committed_ci_baseline_format():
+    """The committed CI baseline is a valid, gated baseline document."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                        "baselines", "fig5_ci.json")
+    doc = json.load(open(path))
+    assert doc["format"] == FORMAT
+    gated = [p for p, m in doc["metrics"].items() if m["direction"] != INFO]
+    assert "result.iops" in gated
+    assert any("rel_err" in p for p in gated)

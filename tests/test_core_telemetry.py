@@ -82,3 +82,62 @@ def test_host_mode_snapshot_has_two_nodes():
     system = run_workload(client="host")
     report = snapshot(system)
     assert {n.name for n in report.nodes} == {"host", "storage"}
+
+
+def _node(name, cpu=0.0, tcp=0.0, locks=None):
+    from repro.core.telemetry import NodeReport
+
+    return NodeReport(name=name, cpu_utilization=cpu, tcp_rx_utilization=tcp,
+                      lock_utilization=locks or {}, dram_used_bytes=0.0,
+                      port_tx_bytes=0, port_rx_bytes=0)
+
+
+def test_busiest_component_tie_breaks_deterministically():
+    from repro.core.telemetry import DeviceReport
+
+    report = SystemReport(now=1.0,
+                          nodes=[_node("zeta", cpu=0.5), _node("alpha", cpu=0.5)],
+                          devices=[DeviceReport(index=0, utilization=0.5,
+                                                read_bytes=0, write_bytes=0)])
+    # Three-way tie at 0.5: lexicographically smallest name wins, always.
+    assert report.busiest_component() == "alpha.cpu"
+
+
+def test_busiest_component_idle_when_nothing_ran():
+    report = SystemReport(now=0.0, nodes=[_node("a"), _node("b")])
+    assert report.busiest_component() == "idle"
+    assert SystemReport(now=0.0).busiest_component() == "idle"
+
+
+def test_observe_and_timeline_on_real_system():
+    from repro.core.telemetry import SystemTimeline, observe
+
+    env = Environment()
+    system = Ros2System(env, Ros2Config(transport="tcp", client="dpu",
+                                        n_ssds=1))
+    token = system.register_tenant("tl")
+    sampler = observe(system, interval=1e-4)
+
+    def go(env):
+        yield from system.start()
+        session = yield from system.open_session(token)
+        fh = yield from session.create("/tl.dat")
+        port = session.data_port()
+        ctx = port.new_context()
+        for i in range(8):
+            yield from port.write(ctx, fh, i * MIB, nbytes=MIB)
+
+    p = env.process(go(env))
+    env.run(until=p)
+    mid = env.now
+    env.run(until=mid + 1e-3)
+    sampler.stop()
+    timeline = SystemTimeline(snapshot(system), sampler)
+    timeline.set_phases(warmup_end=mid / 2, steady_end=mid)
+    assert sampler.ticks > 0
+    by_phase = timeline.busiest_by_phase()
+    assert set(by_phase) == {"warmup", "steady", "drain"}
+    text = timeline.render()
+    assert "Little's law" in text and "busiest component" in text
+    doc = timeline.to_dict()
+    assert "sampler" in doc and "littles_law" in doc

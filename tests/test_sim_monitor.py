@@ -125,3 +125,49 @@ def test_monitor_reset_rates_clears_latencies_too():
     mon.reset_rates()
     assert r.ops == 0
     assert len(rec) == 0
+
+
+def test_gauge_max_watermark_and_reset():
+    env = Environment()
+    g = Monitor(env).gauge("stage")
+
+    def proc(env):
+        g.set(7)
+        yield env.timeout(1)
+        g.set(2)
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run()
+    assert g.max() == 7
+    assert g.peak == 7          # alias kept for existing callers
+    assert g.reset_max() == 7   # returns the old watermark...
+    assert g.max() == 2         # ...and restarts from the current level
+
+
+def test_gauge_mean_zero_elapsed_window_is_current_level():
+    env = Environment()
+    g = Monitor(env).gauge("q", initial=3)
+    # No simulated time has passed: the mean of a point window is the level.
+    assert g.mean() == 3.0
+    g.set(9)
+    assert g.mean() == 9.0
+
+
+def test_gauge_created_late_integrates_from_creation():
+    env = Environment()
+    mon = Monitor(env)
+    holder = {}
+
+    def proc(env):
+        yield env.timeout(5)       # gauge does not exist yet
+        holder["g"] = g = mon.gauge("late")
+        g.set(10)
+        yield env.timeout(1)
+        g.set(0)
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run()
+    # Integration starts at creation (t=5), not t=0: mean is 10*1/2 = 5.
+    assert holder["g"].mean() == pytest.approx(5.0)
