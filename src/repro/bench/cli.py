@@ -131,6 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also attach continuous telemetry and write a "
                          "Chrome trace-event file (Perfetto)")
 
+    pp = sub.add_parser(
+        "perf",
+        help="wall-clock perf harness: kernel events/s, pipe coalescing, "
+             "fig5 cell timings (BENCH_perf.json)",
+    )
+    pp.add_argument("--quick", action="store_true",
+                    help="CI smoke subset (~seconds)")
+    pp.add_argument("--repeat", type=int, default=3,
+                    help="timed repetitions per sample; min is reported")
+    pp.add_argument("--warmup", type=int, default=1,
+                    help="discarded warmup runs per sample")
+    pp.add_argument("--out", metavar="PATH", default=None,
+                    help="write the repro-perfbench-v1 JSON document")
+    pp.add_argument("--check", metavar="BASELINE", default=None,
+                    help="gate against a committed perfbench baseline; "
+                         "exit non-zero on regression")
+    pp.add_argument("--write-baseline", metavar="PATH", default=None,
+                    help="snapshot this run as the perfbench baseline")
+    pp.add_argument("--max-regression", type=float, default=0.30,
+                    help="allowed relative drop on rate metrics when "
+                         "gating (default 0.30)")
+
     pc = sub.add_parser(
         "compare",
         help="diff a results JSON against a committed baseline (CI gate)",
@@ -208,6 +230,36 @@ def _run_compare(args) -> int:
     return 0
 
 
+def _run_perf(args) -> int:
+    from repro.bench import perfbench as pb
+
+    doc = pb.run_perfbench(quick=args.quick, repeat=args.repeat,
+                           warmup=args.warmup)
+    print(pb.render_summary(doc))
+    if args.out:
+        pb.save_doc(doc, args.out)
+        print(f"wrote {args.out}")
+    if args.write_baseline:
+        pb.save_doc(doc, args.write_baseline)
+        print(f"wrote perfbench baseline {args.write_baseline}")
+    if args.check:
+        import json as _json
+
+        with open(args.check) as fh:
+            baseline = _json.load(fh)
+        failures = pb.check_against_baseline(
+            doc, baseline, max_regression=args.max_regression)
+        if failures:
+            print(f"\nFAIL: {len(failures)} perf metric(s) regressed "
+                  f"vs {args.check}", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"\nperf gate OK vs {args.check} "
+              f"(max rate regression {args.max_regression * 100:.0f}%)")
+    return 0
+
+
 def _run_trace(args) -> int:
     from repro.sim.spans import LatencyBreakdown, critical_path
 
@@ -280,6 +332,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.experiment == "compare":
         return _run_compare(args)
+
+    if args.experiment == "perf":
+        return _run_perf(args)
 
     if args.experiment == "trace":
         return _run_trace(args)

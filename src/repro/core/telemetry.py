@@ -74,6 +74,11 @@ class SystemReport:
     data_plane_write_bytes: int = 0
     staged_peak_bytes: float = 0.0
     tenant_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Kernel cost counters (DESIGN.md §9): total dispatched simulation
+    #: events and recycled Timeout objects.  Dividing events by completed
+    #: IOs gives the events/IO figure the perf harness gates on.
+    sim_events_processed: int = 0
+    sim_timeouts_recycled: int = 0
 
     def busiest_component(self) -> str:
         """Name of the most utilized station (a bottleneck hint).
@@ -136,6 +141,8 @@ class SystemReport:
             f"data plane: {self.data_plane_read_bytes / GIB:.2f} GiB read, "
             f"{self.data_plane_write_bytes / GIB:.2f} GiB written | "
             f"staging peak: {self.staged_peak_bytes / GIB:.3f} GiB\n"
+            f"kernel: {self.sim_events_processed} events dispatched, "
+            f"{self.sim_timeouts_recycled} timeouts recycled\n"
             f"bottleneck hint: {self.busiest_component()}"
         )
         return nodes.render() + "\n\n" + devs.render() + "\n\n" + tail
@@ -144,7 +151,11 @@ class SystemReport:
 def snapshot(system) -> SystemReport:
     """Collect a :class:`SystemReport` from a running Ros2System."""
     env = system.env
-    report = SystemReport(now=env.now)
+    report = SystemReport(
+        now=env.now,
+        sim_events_processed=env.events_processed,
+        sim_timeouts_recycled=env.timeouts_recycled,
+    )
     seen = set()
     for node in [system.client_node, system.server_node, system.launcher_node]:
         if node.name in seen:

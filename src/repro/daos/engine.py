@@ -120,6 +120,12 @@ class DaosEngine:
         )
         self.pools: Dict[PoolId, _Pool] = {}
         self._oid_seq = 1
+        #: Placement cache: ``(oid.hi, oid.lo, dkey) -> [replica targets]``.
+        #: Placement is a pure function of (oid, dkey, targets); targets are
+        #: fixed at construction and failure only toggles ``down`` flags on
+        #: the cached objects, so entries never go stale.  This removes an
+        #: f-string + CRC32 from every data-path RPC.
+        self._place_cache: Dict[tuple, List[_Target]] = {}
         self.rpc = RpcServer(node)
         self._register_handlers()
 
@@ -157,12 +163,22 @@ class DaosEngine:
 
     def replicas_for(self, oid: ObjectId, dkey: bytes) -> List[_Target]:
         """All replica targets (primary first).  RP2 places the second
-        replica on the next target ring position (distinct when possible)."""
+        replica on the next target ring position (distinct when possible).
+
+        Results are memoised per ``(oid, dkey)`` — callers must treat the
+        returned list as read-only (all in-tree callers do).
+        """
+        key = (oid.hi, oid.lo, dkey)
+        cached = self._place_cache.get(key)
+        if cached is not None:
+            return cached
         primary = self.target_for(oid, dkey)
         if oid.oclass is not ObjectClass.RP2 or self.n_targets < 2:
-            return [primary]
-        secondary = self.targets[(primary.index + 1) % self.n_targets]
-        return [primary, secondary]
+            cached = [primary]
+        else:
+            cached = [primary, self.targets[(primary.index + 1) % self.n_targets]]
+        self._place_cache[key] = cached
+        return cached
 
     def ec_targets(self, oid: ObjectId, dkey: bytes) -> List[_Target]:
         """The (data0, data1, parity) targets of an EC2P1 shard."""
@@ -177,12 +193,18 @@ class DaosEngine:
 
     def live_replicas(self, oid: ObjectId, dkey: bytes) -> List[_Target]:
         """Replicas currently serving (down targets filtered out)."""
-        live = [t for t in self.replicas_for(oid, dkey) if not t.down]
-        if not live:
-            raise DaosError(
-                f"all replicas of {oid} dkey={dkey!r} are down (data unavailable)"
-            )
-        return live
+        replicas = self.replicas_for(oid, dkey)
+        for t in replicas:
+            if t.down:
+                live = [x for x in replicas if not x.down]
+                if not live:
+                    raise DaosError(
+                        f"all replicas of {oid} dkey={dkey!r} are down "
+                        f"(data unavailable)"
+                    )
+                return live
+        # Healthy path: no filtering, no list allocation (read-only result).
+        return replicas
 
     # -- failure injection & rebuild ---------------------------------------------
     def fail_target(self, index: int) -> None:

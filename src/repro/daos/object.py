@@ -25,7 +25,7 @@ __all__ = ["Extent", "ExtentStore", "SingleValue", "VersionedObject", "Coverage"
 _seq = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Extent:
     """One versioned write of ``[start, end)`` within an array akey."""
 
@@ -44,7 +44,7 @@ class Extent:
         return self.end - self.start
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Coverage:
     """One resolved segment of a read: ``[start, end)`` served by ``extent``
     (None = hole, reads back as zeros)."""
@@ -108,6 +108,13 @@ class ExtentStore:
         live = [e for e in self.extents if e.epoch <= epoch and e.end > lo and e.start < hi]
         if not live:
             return [Coverage(lo, hi, None)]
+        if len(live) == 1:
+            e = live[0]
+            if e.start <= lo and e.end >= hi:
+                # Fast path: a single extent covers the whole window — the
+                # general machinery below would produce exactly this one
+                # segment (same boundaries, same winner, same punch rule).
+                return [Coverage(lo, hi, None if e.punched else e)]
         # Split on all extent boundaries inside the query window.
         points = sorted({lo, hi, *(max(lo, e.start) for e in live),
                          *(min(hi, e.end) for e in live)})

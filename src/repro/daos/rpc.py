@@ -85,61 +85,64 @@ class RpcServer:
             self.env.process(self._dispatch(channel, msg), name="rpc-handler")
 
     def _dispatch(self, channel: FabricChannel, msg: Message):
+        # One generator frame per request: the accounting wrapper and the
+        # handler body used to be separate generators, which added a
+        # delegation frame to every resumption of every handler.
         self.inflight += 1
         st = self.stats
         if st is not None:
             st.arrive()
         t0 = self.env.now
         try:
-            yield from self._dispatch_inner(channel, msg)
+            opcode = msg.payload.get("op")
+            args = msg.payload.get("args", {})
+            handler = self._handlers.get(opcode)
+            if handler is None:
+                yield from channel.send(msg.reply_to(
+                    kind="rpc.rep",
+                    payload={"status": "error",
+                             "error": f"unknown opcode {opcode!r}"},
+                    nbytes=RPC_REPLY_BYTES,
+                ))
+                return
+            # Extract trace context from the capsule (CaRT carries
+            # hlc/trace metadata the same way); hand the handler a
+            # server-side span.
+            trace = msg.meta.get("trace") if msg.meta else None
+            span = None
+            if trace is not None:
+                span = trace.child(f"rpc.handler[{opcode}]", node=self.node.name)
+                args = dict(args)
+                args["_trace"] = span
+            try:
+                result = yield from handler(args, msg.src, channel)
+            except DaosError as exc:
+                if span is not None:
+                    span.finish()
+                yield from channel.send(msg.reply_to(
+                    kind="rpc.rep",
+                    payload={"status": "error",
+                             "error": f"{type(exc).__name__}: {exc}"},
+                    nbytes=RPC_REPLY_BYTES,
+                ))
+                return
+            if span is not None:
+                span.finish()
+            # Handlers that piggyback payload bytes onto the reply (inline
+            # fetches) declare the extra wire size via the "_wire" key.
+            wire_extra = 0
+            if isinstance(result, dict):
+                wire_extra = int(result.pop("_wire", 0))
+            self.requests_served += 1
+            yield from channel.send(msg.reply_to(
+                kind="rpc.rep",
+                payload={"status": "ok", "result": result},
+                nbytes=RPC_REPLY_BYTES + wire_extra,
+            ))
         finally:
             self.inflight -= 1
             if st is not None:
                 st.depart(self.env.now - t0)
-
-    def _dispatch_inner(self, channel: FabricChannel, msg: Message):
-        opcode = msg.payload.get("op")
-        args = msg.payload.get("args", {})
-        handler = self._handlers.get(opcode)
-        if handler is None:
-            yield from channel.send(msg.reply_to(
-                kind="rpc.rep",
-                payload={"status": "error", "error": f"unknown opcode {opcode!r}"},
-                nbytes=RPC_REPLY_BYTES,
-            ))
-            return
-        # Extract trace context from the capsule (CaRT carries hlc/trace
-        # metadata the same way); hand the handler a server-side span.
-        trace = msg.meta.get("trace") if msg.meta else None
-        span = None
-        if trace is not None:
-            span = trace.child(f"rpc.handler[{opcode}]", node=self.node.name)
-            args = dict(args)
-            args["_trace"] = span
-        try:
-            result = yield from handler(args, msg.src, channel)
-        except DaosError as exc:
-            if span is not None:
-                span.finish()
-            yield from channel.send(msg.reply_to(
-                kind="rpc.rep",
-                payload={"status": "error", "error": f"{type(exc).__name__}: {exc}"},
-                nbytes=RPC_REPLY_BYTES,
-            ))
-            return
-        if span is not None:
-            span.finish()
-        # Handlers that piggyback payload bytes onto the reply (inline
-        # fetches) declare the extra wire size via the "_wire" key.
-        wire_extra = 0
-        if isinstance(result, dict):
-            wire_extra = int(result.pop("_wire", 0))
-        self.requests_served += 1
-        yield from channel.send(msg.reply_to(
-            kind="rpc.rep",
-            payload={"status": "ok", "result": result},
-            nbytes=RPC_REPLY_BYTES + wire_extra,
-        ))
 
 
 class RpcClient:

@@ -147,12 +147,12 @@ class VersionedObjectStore:
             tier, media_off = ext.media
             seg_off = media_off + (seg.start - ext.start)
             if tier == "scm":
-                reads.append(env.process(self.scm.load(seg_off, seg.nbytes)))
+                reads.append(self.scm.load(seg_off, seg.nbytes))
             else:
                 any_nvme = True
-                reads.append(env.process(
+                reads.append(
                     self.nvme.read(seg_off, seg.nbytes, bw_efficiency=bw_efficiency)
-                ))
+                )
             if verify:
                 Checksummer.verify(ext.data, ext.nbytes, ext.checksum)
             if out is not None and ext.data is not None:
@@ -164,7 +164,14 @@ class VersionedObjectStore:
             if trace is not None:
                 span = trace.child("media.nvme" if any_nvme else "media.scm",
                                    nbytes=nbytes)
-            yield env.all_of(reads)
+            if len(reads) == 1:
+                # Single covering extent (the common case for aligned I/O):
+                # drive the media generator inline instead of wrapping it in
+                # a Process + AllOf — same reservations at the same instant,
+                # two fewer events and three fewer allocations per fetch.
+                yield from reads[0]
+            else:
+                yield env.all_of([env.process(g) for g in reads])
             if span is not None:
                 span.finish()
         return bytes(out) if out is not None else None

@@ -71,14 +71,31 @@ class Switch:
             raise KeyError(f"node {name!r} is not attached to the switch") from None
 
     def transmit(
-        self, src: str, dst: str, wire_bytes: int
+        self, src: str, dst: str, wire_bytes: int, pre_delay: float = 0.0
     ) -> Generator[Event, None, None]:
-        """Move ``wire_bytes`` from ``src`` to ``dst`` (generator; yield from)."""
+        """Move ``wire_bytes`` from ``src`` to ``dst`` (generator; yield from).
+
+        ``pre_delay`` lets transports merge a fixed stack latency they
+        would otherwise sleep *immediately before* the crossing into the
+        propagation event: one kernel event instead of two, firing at the
+        bit-identical instant ``(now + pre_delay) + propagation`` the
+        chained sleeps would have reached.
+        """
+        env = self.env
         if src == dst:
+            if pre_delay:
+                yield env.timeout(pre_delay)
             return  # loopback never touches the wire
         sport = self.port(src)
         dport = self.port(dst)
-        yield self.env.timeout(self.spec.propagation)
+        propagation = self.spec.propagation
+        if pre_delay:
+            yield env.timeout_until((env.now + pre_delay) + propagation)
+        elif propagation:
+            # Zero-propagation links (ablations, loop-local fabrics) skip
+            # the timeout(0) event entirely — same simulated time, one
+            # fewer heap operation per crossing.
+            yield env.timeout(propagation)
         yield from sport.tx.transfer(wire_bytes)
         yield from dport.rx.transfer(wire_bytes)
 

@@ -62,8 +62,11 @@ class NvmeDevice:
         span = None
         if trace is not None:
             span = trace.child("nvme", node=f"nvme{self.index}", nbytes=nbytes)
-        yield self._server.serve(service)
-        yield self.env.timeout(spec.access_latency(is_write))
+        # Queue+service plus the parallel NAND access latency are two
+        # back-to-back pure sleeps for this process; ``serve_then``
+        # reserves the device exactly like ``serve`` but wakes us once,
+        # at the bit-identical completion instant (one kernel event).
+        yield self._server.serve_then(service, spec.access_latency(is_write))
         if span is not None:
             span.finish()
         (self.writes if is_write else self.reads).record(nbytes)

@@ -13,7 +13,6 @@ transport.  Payloads may be:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["Message", "payload_nbytes", "HEADER_BYTES"]
@@ -45,28 +44,50 @@ def payload_nbytes(payload: Any) -> int:
     return 96
 
 
-@dataclass
 class Message:
     """One transport message.
 
     ``nbytes`` defaults to the payload's size; set it explicitly for
     virtual payloads.  ``kind`` and ``tag`` are free-form routing fields
     used by the RPC layers (service/method, request id).
+
+    Implementation note: previously a ``@dataclass``; now a plain
+    ``__slots__`` class with a hand-written constructor.  One Message is
+    allocated per wire crossing, and the generated dataclass ``__init__``
+    plus ``__post_init__`` and a per-instance ``__dict__`` showed up in
+    run profiles (DESIGN.md §9).  The constructor signature and field
+    semantics are unchanged.
     """
 
-    src: str
-    dst: str
-    kind: str = "data"
-    tag: int = 0
-    payload: Any = None
-    nbytes: Optional[int] = None
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("src", "dst", "kind", "tag", "payload", "nbytes", "meta")
 
-    def __post_init__(self) -> None:
-        if self.nbytes is None:
-            self.nbytes = payload_nbytes(self.payload)
-        if self.nbytes < 0:
-            raise ValueError(f"negative message size {self.nbytes}")
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        kind: str = "data",
+        tag: int = 0,
+        payload: Any = None,
+        nbytes: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.tag = tag
+        self.payload = payload
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        elif nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        self.nbytes = nbytes
+        self.meta = {} if meta is None else meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, kind={self.kind!r}, "
+            f"tag={self.tag}, nbytes={self.nbytes})"
+        )
 
     @property
     def frame_bytes(self) -> int:

@@ -442,21 +442,30 @@ class RdmaDevice:
         env = self.env
         src_name = self.node.name
         dst_name = dst_device.node.name
-        yield env.timeout(costs.rtt_overhead / 2.0)
+        pre = costs.rtt_overhead / 2.0
         if (
             not rendezvous_exempt
             and costs.rendezvous_threshold is not None
             and size > costs.rendezvous_threshold
         ):
             # RTS/CTS exchange: one extra round-trip of small control msgs.
-            span = trace.child("rdma.rendezvous", node=src_name) if trace is not None else None
             rtt = 2 * (self.node.switch.spec.propagation + costs.rtt_overhead / 2.0)
-            yield env.timeout(rtt)
-            if span is not None:
+            if trace is not None:
+                # Keep the two sleeps distinct so the rendezvous span
+                # measures the control round-trip on traced runs.
+                yield env.timeout(pre)
+                span = trace.child("rdma.rendezvous", node=src_name)
+                yield env.timeout(rtt)
                 span.finish()
+                pre = 0.0
+            else:
+                # Merge stack latency + RTS/CTS into one kernel event,
+                # firing at the bit-identical chained-sleep instant.
+                yield env.timeout_until((env.now + pre) + rtt)
+                pre = 0.0
         span = trace.child(stage, nbytes=size) if trace is not None else None
         wire = int((size + HEADER_BYTES) / costs.goodput_efficiency)
-        yield from self.node.switch.transmit(src_name, dst_name, wire)
+        yield from self.node.switch.transmit(src_name, dst_name, wire, pre_delay=pre)
         if span is not None:
             span.finish()
 

@@ -12,11 +12,30 @@ hardware models in :mod:`repro.hw` push hundreds of thousands of events per
 simulated run, and the guides for this domain stress keeping the interpreter
 out of hot loops wherever possible (``__slots__`` everywhere, no closures in
 the dispatch path).
+
+Hot-loop design notes (see DESIGN.md §9 for the event-cost budget):
+
+* :meth:`Environment.run` fuses the pop/dispatch body inline rather than
+  calling :meth:`Environment.step` per event, eliminating one Python frame
+  and one ``try/except`` per event.  :meth:`step` remains for single-step
+  debugging and keeps identical semantics.
+* Processed :class:`Timeout` objects that provably have no remaining
+  references (checked with ``sys.getrefcount``) are parked on a bounded
+  free-list and recycled by :meth:`Environment.timeout`, cutting the
+  dominant allocation of the simulation (one Timeout per service
+  reservation).  An event that *anything* still references — a condition,
+  a tracer, user code — is never recycled, so the optimisation is
+  invisible to correctness.
+* :attr:`Environment.events_processed` counts every dispatched event so
+  telemetry and the perf harness (:mod:`repro.bench.perfbench`) can report
+  events-per-IO, the simulator's native cost metric.
 """
 
 from __future__ import annotations
 
+from gc import disable as gc_disable, enable as gc_enable, isenabled as gc_isenabled
 from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -42,6 +61,10 @@ PENDING = object()
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+
+#: Upper bound on the Timeout free-list (plenty for the deepest pipelines
+#: while keeping a dormant Environment's footprint trivial).
+_FREELIST_MAX = 128
 
 
 class SimulationError(RuntimeError):
@@ -114,7 +137,34 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, 0.0, priority)
+        # Inlined ``env.schedule(self, 0.0, priority)`` — succeed() is on
+        # the wake-up path of every store/resource grant.
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, priority, env._eid, self))
+        return self
+
+    def _succeed_inline(self, value: Any = None) -> "Event":
+        """Succeed *and* mark processed without scheduling a kernel event.
+
+        Only valid while no callback has been attached (i.e. straight from
+        the event's constructor, before it is handed to the caller): a
+        process that later yields the event takes the already-processed
+        fast path in :meth:`Process._resume` and continues at the same
+        simulated instant the scheduled event would have delivered — one
+        heap operation and one dispatch cheaper.  Used by the resource
+        layer for requests/puts/gets that are satisfiable immediately
+        (see DESIGN.md §9).
+
+        When a kernel :class:`~repro.sim.trace.Tracer` is subscribed, the
+        fast path is disabled and the event is scheduled normally so the
+        observed event stream stays complete.
+        """
+        if self.env._trace_hook is not None:
+            return self.succeed(value)
+        self._ok = True
+        self._value = value
+        self.callbacks = None
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -158,7 +208,8 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay, NORMAL)
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
 
 class Initialize(Event):
@@ -170,8 +221,9 @@ class Initialize(Event):
         super().__init__(env)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
-        env.schedule(self, 0.0, URGENT)
+        self.callbacks.append(process._rcb)
+        env._eid += 1
+        heappush(env._queue, (env._now, URGENT, env._eid, self))
 
 
 class _InterruptEvent(Event):
@@ -197,7 +249,7 @@ class _InterruptEvent(Event):
         target = proc._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(proc._resume)
+                target.callbacks.remove(proc._rcb)
             except ValueError:
                 pass
         proc._target = None
@@ -211,7 +263,7 @@ class Process(Event):
     generator raises, the process fails with that exception.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_rcb")
 
     def __init__(
         self,
@@ -225,6 +277,11 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: The bound ``_resume`` method, materialised once: every suspension
+        #: appends it to the awaited event's callback list, and building a
+        #: fresh bound method per suspension is a measurable allocation in
+        #: long runs.
+        self._rcb = self._resume
         Initialize(env, self)
 
     @property
@@ -244,25 +301,37 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         env = self.env
         env._active = self
+        generator = self.generator
         while True:
             try:
                 if event._ok:
-                    next_event = self.generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event._defused = True
                     exc = event._value
-                    next_event = self.generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
                 env._active = None
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self, 0.0, URGENT)
+                if self.callbacks or env._trace_hook is not None:
+                    env.schedule(self, 0.0, URGENT)
+                else:
+                    # Nobody is waiting on this process (and no tracer is
+                    # attached): mark it processed inline instead of
+                    # scheduling a no-op event.  A later ``yield proc``
+                    # takes the already-processed fast path with the same
+                    # value at the same simulated time.
+                    self.callbacks = None
                 return
             except StopProcess:
                 env._active = None
                 self._ok = True
                 self._value = None
-                env.schedule(self, 0.0, URGENT)
+                if self.callbacks or env._trace_hook is not None:
+                    env.schedule(self, 0.0, URGENT)
+                else:
+                    self.callbacks = None
                 return
             except BaseException as exc:  # noqa: BLE001 - failure propagates
                 env._active = None
@@ -271,19 +340,25 @@ class Process(Event):
                 env.schedule(self, 0.0, URGENT)
                 return
 
-            if not isinstance(next_event, Event):
+            try:
+                cbs = next_event.callbacks
+            except AttributeError:
                 env._active = None
                 raise SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
-                )
-            if next_event.env is not env:
-                env._active = None
-                raise SimulationError(
-                    f"process {self.name!r} yielded an event from another environment"
-                )
-            if next_event.callbacks is not None:
+                ) from None
+            if cbs is not None:
                 # Still pending or scheduled: park until it is processed.
-                next_event.callbacks.append(self._resume)
+                # (The cross-environment guard lives on this branch only —
+                # an already-processed event carries no scheduling state, so
+                # the hot inline path skips both checks.)
+                if next_event.env is not env:
+                    env._active = None
+                    raise SimulationError(
+                        f"process {self.name!r} yielded an event "
+                        f"from another environment"
+                    )
+                cbs.append(self._rcb)
                 self._target = next_event
                 break
             # Already processed: loop immediately with its value.
@@ -380,7 +455,8 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_eid", "_active", "_trace_hook",
-                 "_trace_subscribers")
+                 "_trace_subscribers", "_trace_snapshot",
+                 "_events_processed", "_tfree", "_timeouts_recycled")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -392,6 +468,15 @@ class Environment:
         #: exactly one is attached, or :meth:`_dispatch_trace` for fan-out.
         self._trace_hook: Optional[Callable[[Event], None]] = None
         self._trace_subscribers: list = []
+        #: Immutable snapshot of the subscriber list, refreshed on
+        #: add/remove so fan-out dispatch never allocates per event.
+        self._trace_snapshot: tuple = ()
+        #: Total events dispatched by this environment (step + run loops).
+        self._events_processed = 0
+        #: Free-list of recyclable Timeout objects (bounded).
+        self._tfree: list = []
+        #: How many Timeout allocations the free-list saved (for perfbench).
+        self._timeouts_recycled = 0
 
     # -- trace subscription -------------------------------------------------
     def add_trace_subscriber(self, fn: Callable[[Event], None]) -> None:
@@ -413,6 +498,9 @@ class Environment:
 
     def _refresh_trace_hook(self) -> None:
         subs = self._trace_subscribers
+        # Snapshot once here instead of building a tuple per processed
+        # event in the fan-out path; add/remove invalidate the snapshot.
+        self._trace_snapshot = tuple(subs)
         if not subs:
             self._trace_hook = None
         elif len(subs) == 1:
@@ -422,7 +510,10 @@ class Environment:
             self._trace_hook = self._dispatch_trace
 
     def _dispatch_trace(self, event: Event) -> None:
-        for fn in tuple(self._trace_subscribers):
+        # The snapshot is immutable: a subscriber that unsubscribes mid-
+        # dispatch still sees the current event (same semantics as the old
+        # per-event tuple() copy), and the next event uses the new snapshot.
+        for fn in self._trace_snapshot:
             fn(event)
 
     # -- clock ------------------------------------------------------------
@@ -436,14 +527,79 @@ class Environment:
         """The process currently executing (None outside process context)."""
         return self._active
 
+    @property
+    def events_processed(self) -> int:
+        """Total events dispatched so far (consistent at step/run boundaries).
+
+        Telemetry divides this by completed IOs to report *events/IO*, the
+        simulator's native cost metric (see DESIGN.md §9).
+        """
+        return self._events_processed
+
+    @property
+    def timeouts_recycled(self) -> int:
+        """Timeout allocations avoided via the free-list (perf accounting)."""
+        return self._timeouts_recycled
+
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
         """Create a fresh pending :class:`Event`."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing after ``delay`` seconds."""
+        """Create an event firing after ``delay`` seconds.
+
+        Recycles a processed Timeout from the free-list when one is
+        available — the dominant allocation of a simulated run is one
+        Timeout per service reservation, and the run loop only parks an
+        event here once ``sys.getrefcount`` proves nothing else can
+        observe it.
+        """
+        tfree = self._tfree
+        if tfree:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            # A recycled Timeout is always a cleanly-fired one (Timeouts
+            # cannot fail and are only parked after a clean dispatch), so
+            # ``_ok``/``_defused`` still hold their required values.
+            t = tfree.pop()
+            t.callbacks = []
+            t._value = value
+            t.delay = delay
+            self._eid += 1
+            heappush(self._queue, (self._now + delay, NORMAL, self._eid, t))
+            self._timeouts_recycled += 1
+            return t
         return Timeout(self, delay, value)
+
+    def timeout_until(self, when: float, value: Any = None) -> Timeout:
+        """Create an event firing at *absolute* simulated time ``when``.
+
+        Unlike ``timeout(when - now)`` this is exact: the event fires at
+        the float ``when`` itself, with no re-rounding through a delay.
+        Transport layers use it to merge consecutive pure-delay sleeps
+        (e.g. stack latency + switch propagation) into a single kernel
+        event whose fire time is bit-identical to the chained sleeps.
+        """
+        now = self._now
+        if when < now:
+            raise ValueError(f"timeout_until({when}) lies in the past (now={now})")
+        tfree = self._tfree
+        if tfree:
+            t = tfree.pop()
+            t.callbacks = []
+            self._timeouts_recycled += 1
+        else:
+            t = Timeout.__new__(Timeout)
+            t.env = self
+            t.callbacks = []
+            t._defused = False
+            t._ok = True
+        t._value = value
+        t.delay = when - now
+        self._eid += 1
+        heappush(self._queue, (when, NORMAL, self._eid, t))
+        return t
 
     def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
         """Start ``generator`` as a new process."""
@@ -468,12 +624,17 @@ class Environment:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event.
+
+        Kept for single-stepping and debugging; :meth:`run` inlines this
+        body (minus the empty-queue probe) to avoid a frame per event.
+        """
         try:
             when, _prio, _eid, event = heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events") from None
         self._now = when
+        self._events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:
@@ -483,6 +644,9 @@ class Environment:
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+        if (type(event) is Timeout and len(self._tfree) < _FREELIST_MAX
+                and getrefcount(event) == 2):
+            self._tfree.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -492,35 +656,111 @@ class Environment:
           including that time, then set the clock to it.
         * ``until`` is an :class:`Event` — run until that event is processed
           and return its value (raising if it failed).
-        """
-        if until is None:
-            while self._queue:
-                self.step()
-            return None
 
-        if isinstance(until, Event):
-            sentinel = until
-            if sentinel.callbacks is None:  # already processed
+        All three modes run a *fused* dispatch loop: heap pop, callback
+        fan-out, trace hook and Timeout recycling happen inline with the
+        loop-invariant lookups (queue, free-list, ``heappop``) hoisted into
+        locals.  Semantics are identical to calling :meth:`step` in a loop;
+        only the per-event interpreter overhead differs.
+
+        The cyclic garbage collector is paused for the duration of the
+        loop (and restored on exit, including on error): a simulation turn
+        allocates heavily — events, heap tuples, generator frames — and
+        CPython's generation-0 collections otherwise trigger every ~700
+        allocations, costing ~10% of wall time.  Reference cycles
+        (process → generator → frame) are rare and small; they are
+        reclaimed by the next enabled collection after the run returns.
+        """
+        queue = self._queue
+        tfree = self._tfree
+        pop = heappop
+        n = 0
+        gc_was_enabled = gc_isenabled()
+        if gc_was_enabled:
+            gc_disable()
+        try:
+            if until is None:
+                while queue:
+                    when, _prio, _eid, event = pop(queue)
+                    self._now = when
+                    n += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    trace_hook = self._trace_hook
+                    if trace_hook is not None:
+                        trace_hook(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise exc if isinstance(exc, BaseException) \
+                            else SimulationError(repr(exc))
+                    if (type(event) is Timeout and len(tfree) < _FREELIST_MAX
+                            and getrefcount(event) == 2):
+                        tfree.append(event)
+                return None
+
+            if isinstance(until, Event):
+                sentinel = until
+                if sentinel.callbacks is None:  # already processed
+                    if not sentinel._ok:
+                        raise sentinel._value
+                    return sentinel._value
+                flag = [False]
+                sentinel.callbacks.append(lambda ev: flag.__setitem__(0, True))
+                fired = flag.__getitem__
+                while not fired(0):
+                    if not queue:
+                        raise SimulationError(
+                            "event list empty but the awaited event never fired"
+                        )
+                    when, _prio, _eid, event = pop(queue)
+                    self._now = when
+                    n += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    trace_hook = self._trace_hook
+                    if trace_hook is not None:
+                        trace_hook(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise exc if isinstance(exc, BaseException) \
+                            else SimulationError(repr(exc))
+                    if (type(event) is Timeout and len(tfree) < _FREELIST_MAX
+                            and getrefcount(event) == 2):
+                        tfree.append(event)
                 if not sentinel._ok:
+                    sentinel._defused = True
                     raise sentinel._value
                 return sentinel._value
-            flag = [False]
-            sentinel.callbacks.append(lambda ev: flag.__setitem__(0, True))
-            while not flag[0]:
-                if not self._queue:
-                    raise SimulationError(
-                        "event list empty but the awaited event never fired"
-                    )
-                self.step()
-            if not sentinel._ok:
-                sentinel._defused = True
-                raise sentinel._value
-            return sentinel._value
 
-        horizon = float(until)
-        if horizon < self._now:
-            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
-        self._now = horizon
-        return None
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} lies in the past (now={self._now})")
+            while queue and queue[0][0] <= horizon:
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                n += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                trace_hook = self._trace_hook
+                if trace_hook is not None:
+                    trace_hook(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) \
+                        else SimulationError(repr(exc))
+                if (type(event) is Timeout and len(tfree) < _FREELIST_MAX
+                        and getrefcount(event) == 2):
+                    tfree.append(event)
+            self._now = horizon
+            return None
+        finally:
+            self._events_processed += n
+            if gc_was_enabled:
+                gc_enable()

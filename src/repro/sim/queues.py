@@ -18,6 +18,16 @@ servers that need only **one** event per operation:
   small message never waits behind more than the in-flight chunks of large
   transfers.  Models NIC links and PCIe lanes.
 
+  The pipe is *event-lean*: while a transfer is alone on the pipe its whole
+  remaining payload is reserved analytically in one step (one event instead
+  of one per chunk — exactly equivalent, since no interleaving partner
+  exists), and the pipe falls back to chunked reservation only while two or
+  more transfers overlap.  A transfer that arrives mid-coalesce *revokes*
+  the untransmitted tail of the resident reservation at the next chunk
+  boundary, so the documented fairness bound — a new arrival waits at most
+  the in-flight chunk(s), never a whole large transfer — is preserved.
+  See DESIGN.md §9 for the exactness argument.
+
 All of them track cumulative busy time so utilization can be reported.
 """
 
@@ -27,7 +37,7 @@ import heapq
 from math import ceil
 from typing import Generator, Optional
 
-from repro.sim.core import Environment, Event, Timeout
+from repro.sim.core import Environment, Event, Process, Timeout
 
 __all__ = ["FifoServer", "PooledServer", "BandwidthPipe"]
 
@@ -79,15 +89,46 @@ class FifoServer:
         """Reserve ``duration`` seconds of service; event fires at completion."""
         if duration < 0:
             raise ValueError(f"negative service duration {duration}")
-        now = self.env.now
-        start = self._free_at if self._free_at > now else now
+        env = self.env
+        now = env._now
+        free = self._free_at
+        start = free if free > now else now
         done = start + duration
         self._free_at = done
         self.busy_time += duration
         self.ops += 1
         if self._stats is not None:
             self._stats.record(now, done)
-        return self.env.timeout(done - now)
+        return env.timeout(done - now)
+
+    def serve_then(self, duration: float, extra_delay: float) -> Timeout:
+        """Reserve ``duration`` of service, then sleep ``extra_delay`` more.
+
+        Equivalent to ``yield serve(duration)`` followed by
+        ``yield env.timeout(extra_delay)`` but with a single kernel event.
+        The reservation bookkeeping (``_free_at``, ``busy_time``, station
+        stats) is identical to :meth:`serve`; only the caller's wake-up is
+        deferred.  Bit-exactness: ``serve`` would fire at
+        ``now + (done - now)`` and the chained timeout at that instant
+        plus ``extra_delay`` — the absolute fire time below repeats those
+        float operations verbatim and is scheduled via ``timeout_until``,
+        which never re-rounds through a relative delay.
+        """
+        if duration < 0:
+            raise ValueError(f"negative service duration {duration}")
+        if extra_delay < 0:
+            raise ValueError(f"negative extra delay {extra_delay}")
+        env = self.env
+        now = env._now
+        free = self._free_at
+        start = free if free > now else now
+        done = start + duration
+        self._free_at = done
+        self.busy_time += duration
+        self.ops += 1
+        if self._stats is not None:
+            self._stats.record(now, done)
+        return env.timeout_until((now + (done - now)) + extra_delay)
 
     def serve_units(self, units: float) -> Timeout:
         """Serve ``units`` of work at the configured ``rate``."""
@@ -137,7 +178,8 @@ class PooledServer:
         """Reserve ``duration`` seconds on the earliest-free server."""
         if duration < 0:
             raise ValueError(f"negative service duration {duration}")
-        now = self.env.now
+        env = self.env
+        now = env._now
         free = heapq.heappop(self._free)
         start = free if free > now else now
         done = start + duration
@@ -146,7 +188,7 @@ class PooledServer:
         self.ops += 1
         if self._stats is not None:
             self._stats.record(now, done)
-        return self.env.timeout(done - now)
+        return env.timeout(done - now)
 
     def backlog(self) -> float:
         """Seconds until the earliest server frees up (0 if any is idle)."""
@@ -167,10 +209,27 @@ class BandwidthPipe:
     granularity (approximating per-packet fair sharing).  A fixed
     ``latency`` is added once per transfer.
 
+    **Coalescing fast path** (``coalesce=True``, the default): while a
+    transfer is the *only* one in the pipe's data phase, its entire
+    remaining payload is reserved in one analytic step and the transfer
+    sleeps on a single event — the completion time, busy-time and op
+    accounting are accumulated chunk-by-chunk in plain floats, so the
+    outcome is bit-identical to serving every chunk through the event
+    loop.  If a second transfer arrives mid-coalesce, the resident
+    reservation is *revoked* at the next chunk boundary: the server gets
+    the untransmitted tail back, the owner is re-woken at its in-flight
+    chunk's completion, and both transfers continue in classic chunked
+    mode.  Thus uncontended transfers cost one event regardless of size,
+    while overlapping transfers keep the documented fairness bound (a new
+    arrival waits for at most the chunk in flight).
+
     Use from a process as ``yield from pipe.transfer(nbytes)``.
     """
 
-    __slots__ = ("env", "bandwidth", "latency", "chunk_bytes", "_server", "bytes_moved")
+    __slots__ = ("env", "bandwidth", "latency", "chunk_bytes", "_server",
+                 "bytes_moved", "coalesce", "_inflight", "_co_gate",
+                 "_co_start", "_co_done", "_co_busy0", "_co_bytes",
+                 "_co_unsent", "coalesced_ops", "revoked_ops")
 
     def __init__(
         self,
@@ -178,6 +237,7 @@ class BandwidthPipe:
         bandwidth: float,
         latency: float = 0.0,
         chunk_bytes: int = 64 * 1024,
+        coalesce: bool = True,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
@@ -192,11 +252,37 @@ class BandwidthPipe:
         self._server = FifoServer(env)
         #: Total payload bytes moved (for reports).
         self.bytes_moved = 0
+        #: Enable the single-event fast path for uncontended transfers.
+        #: ``coalesce=False`` forces the classic chunk-per-event behaviour
+        #: (the reference the equivalence tests compare against).
+        self.coalesce = bool(coalesce)
+        #: Transfers currently in the data phase (past the latency stage).
+        self._inflight = 0
+        # Active coalesced reservation (None when nobody is coalescing):
+        # the gate event the owner sleeps on, the transmission start time,
+        # the reserved completion time, the server busy_time before the
+        # reservation, and the reserved byte count.
+        self._co_gate: Optional[Timeout] = None
+        self._co_start = 0.0
+        self._co_done = 0.0
+        self._co_busy0 = 0.0
+        self._co_bytes = 0
+        #: Set by a revocation: bytes the owner must re-send chunked.
+        self._co_unsent = 0
+        #: Count of coalesced reservations (perf accounting).
+        self.coalesced_ops = 0
+        #: Count of revocations (contention arriving mid-coalesce).
+        self.revoked_ops = 0
 
     @property
     def busy_time(self) -> float:
         """Cumulative seconds the pipe spent transmitting."""
         return self._server.busy_time
+
+    @property
+    def inflight(self) -> int:
+        """Transfers currently in the data phase."""
+        return self._inflight
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time the pipe was transmitting."""
@@ -215,14 +301,157 @@ class BandwidthPipe:
             yield self.env.timeout(self.latency)
         if nbytes == 0:
             return
+        self._inflight += 1
+        if self._inflight == 2 and self._co_gate is not None:
+            # Contention arrived while someone coalesced: claw back the
+            # untransmitted tail so we only wait for the chunk in flight.
+            self._revoke()
+        try:
+            remaining = nbytes
+            srv = self._server
+            bw = self.bandwidth
+            chunk = self.chunk_bytes
+            # Loop-invariant coalescing eligibility (only ``_inflight``
+            # changes mid-transfer; a telemetry recorder is attached
+            # between runs, never mid-transfer).
+            can_coalesce = self.coalesce and srv._stats is None
+            while remaining > 0:
+                if can_coalesce and self._inflight == 1:
+                    # Alone on the pipe: one analytic reservation, one event.
+                    # (With a telemetry recorder attached we stay chunked so
+                    # per-chunk station records are preserved exactly;
+                    # samplers only probe pipes via busy_time in practice.)
+                    gate = self._reserve_remaining(remaining)
+                    try:
+                        yield gate
+                    except BaseException:
+                        # Interrupted/killed mid-coalesce: hand back the
+                        # untransmitted tail so the pipe is not left
+                        # spuriously busy (chunked mode loses at most the
+                        # chunk in flight; so do we).
+                        if self._co_gate is gate:
+                            self._abort_coalesced()
+                        raise
+                    if self._co_gate is gate:
+                        # Ran to completion un-revoked.
+                        self._co_gate = None
+                        remaining = 0
+                    else:
+                        # Revoked: continue with the clawed-back tail.
+                        remaining = self._co_unsent
+                        self._co_unsent = 0
+                else:
+                    take = chunk if remaining > chunk else remaining
+                    yield srv.serve(take / bw)
+                    remaining -= take
+        finally:
+            self._inflight -= 1
+
+    # -- coalescing internals ------------------------------------------------
+    def _reserve_remaining(self, nbytes: int) -> Timeout:
+        """Reserve ``nbytes`` on the server analytically; return the gate.
+
+        Completion time, busy time and op count are accumulated with the
+        same per-chunk float additions the chunked path performs, so the
+        reservation is bit-identical to serving each chunk individually.
+        """
+        env = self.env
+        srv = self._server
+        now = env._now
+        free = srv._free_at
+        start = free if free > now else now
         bw = self.bandwidth
         chunk = self.chunk_bytes
         full, tail = divmod(nbytes, chunk)
         chunk_time = chunk / bw
+        busy0 = srv.busy_time
+        done = start
+        busy = busy0
         for _ in range(full):
-            yield self._server.serve(chunk_time)
+            done += chunk_time
+            busy += chunk_time
         if tail:
-            yield self._server.serve(tail / bw)
+            tail_time = tail / bw
+            done += tail_time
+            busy += tail_time
+        srv._free_at = done
+        srv.busy_time = busy
+        srv.ops += full + (1 if tail else 0)
+        if srv._stats is not None:  # pragma: no cover - guarded by caller
+            srv._stats.record(now, done)
+        gate = env.timeout(done - now)
+        self._co_gate = gate
+        self._co_start = start
+        self._co_done = done
+        self._co_busy0 = busy0
+        self._co_bytes = nbytes
+        self._co_unsent = 0
+        self.coalesced_ops += 1
+        return gate
+
+    def _rollback_tail(self) -> int:
+        """Give the server back every chunk not yet in flight.
+
+        Under chunked reservation the owner would, at this instant, have
+        completed ``floor(elapsed / chunk_time)`` chunks and hold one more
+        in flight; everything beyond that is returned.  Returns the number
+        of unsent bytes (0 if only the tail remained — nothing to revoke).
+        """
+        srv = self._server
+        now = self.env._now
+        start = self._co_start
+        nbytes = self._co_bytes
+        chunk = self.chunk_bytes
+        chunk_time = chunk / self.bandwidth
+        elapsed = now - start
+        committed = 1 if elapsed < 0 else int(elapsed / chunk_time) + 1
+        total_chunks = ceil(nbytes / chunk)
+        if committed >= total_chunks:
+            return 0  # the final chunk/tail is already in flight
+        # Rebuild the state a chunked run would have after ``committed``
+        # chunks: same additions, same order — exact, not approximate.
+        new_done = start
+        busy = self._co_busy0
+        for _ in range(committed):
+            new_done += chunk_time
+            busy += chunk_time
+        srv._free_at = new_done
+        srv.busy_time = busy
+        srv.ops -= total_chunks - committed
+        return nbytes - committed * chunk
+
+    def _revoke(self) -> None:
+        """A second transfer arrived mid-coalesce: truncate and re-wake."""
+        gate = self._co_gate
+        unsent = self._rollback_tail()
+        if unsent == 0:
+            return  # reservation is effectively all in flight; leave it
+        env = self.env
+        self._co_unsent = unsent
+        self._co_gate = None
+        self.revoked_ops += 1
+        # Re-wake the owner at its in-flight chunk's completion instead of
+        # the original (now rolled-back) completion time.  The old gate
+        # stays in the event heap and fires inert (callbacks emptied); the
+        # waiter — including its Process._target bookkeeping, so interrupts
+        # keep working — moves to a fresh gate.
+        new_gate = env.timeout(self._server._free_at - env.now)
+        callbacks = gate.callbacks
+        gate.callbacks = []
+        if callbacks:
+            new_gate.callbacks.extend(callbacks)
+            for cb in callbacks:
+                owner = getattr(cb, "__self__", None)
+                if isinstance(owner, Process) and owner._target is gate:
+                    owner._target = new_gate
+
+    def _abort_coalesced(self) -> None:
+        """The coalescing owner died mid-wait: return the unsent tail."""
+        gate = self._co_gate
+        self._co_gate = None
+        self._rollback_tail()
+        if gate is not None and gate.callbacks is not None:
+            gate.callbacks = []  # fires inert
 
     def transfer_time_estimate(self, nbytes: int) -> float:
         """Uncontended time to move ``nbytes`` (latency + serialization)."""

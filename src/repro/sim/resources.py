@@ -23,9 +23,10 @@ which guarantees release even if the process is interrupted while queued.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from heapq import heappop, heappush
+from typing import Any, Deque, List, Tuple
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import PENDING, Environment, Event, SimulationError
 
 __all__ = [
     "Request",
@@ -65,17 +66,29 @@ class Request(Event):
 
 
 class Release(Event):
-    """Immediately-successful event produced by :meth:`Resource.release`."""
+    """Immediately-successful event produced by :meth:`Resource.release`.
+
+    Born processed: releasing never blocks, so no kernel event is
+    scheduled — a process yielding it continues at the same instant via
+    the already-processed fast path.
+    """
 
     __slots__ = ()
 
     def __init__(self, env: Environment) -> None:
         super().__init__(env)
-        self.succeed()
+        self._succeed_inline()
 
 
 class Resource:
-    """``capacity`` identical servers granted to requests in FIFO order."""
+    """``capacity`` identical servers granted to requests in FIFO order.
+
+    Hot-path notes (DESIGN.md §9): an immediately-grantable request is
+    born processed (no kernel event), releasing a slot removes the user
+    by *swap-remove* — O(1), valid because the order of ``users`` is not
+    observable — and only the FIFO *grant* order of queued requests is
+    part of the contract (pinned by a regression test).
+    """
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity <= 0:
@@ -83,6 +96,9 @@ class Resource:
         self.env = env
         self._capacity = int(capacity)
         self.users: List[Request] = []
+        self._init_waiters()
+
+    def _init_waiters(self) -> None:
         self.queue: Deque[Request] = deque()
 
     @property
@@ -101,14 +117,16 @@ class Resource:
 
     def release(self, request: Request) -> Release:
         """Return a slot (or withdraw a queued request)."""
+        users = self.users
         try:
-            self.users.remove(request)
+            i = users.index(request)
         except ValueError:
-            try:
-                self.queue.remove(request)
-            except ValueError:
-                pass  # releasing twice is a no-op by design
+            self._withdraw(request)  # queued (or stale): drop from the queue
         else:
+            # Swap-remove: O(1); ``users`` order is not observable.
+            last = users.pop()
+            if last is not request:
+                users[i] = last
             self._grant_next()
         return Release(self.env)
 
@@ -116,9 +134,16 @@ class Resource:
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self._capacity:
             self.users.append(request)
-            request.succeed()
+            request._succeed_inline()
         else:
             self.queue.append(request)
+
+    def _withdraw(self, request: Request) -> None:
+        """Remove a queued (never granted) request; no-op if unknown."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass  # releasing twice is a no-op by design
 
     def _grant_next(self) -> None:
         while self.queue and len(self.users) < self._capacity:
@@ -143,11 +168,29 @@ class PriorityRequest(Request):
 
 
 class PriorityResource(Resource):
-    """Resource granting queued requests in ``(priority, arrival)`` order."""
+    """Resource granting queued requests in ``(priority, arrival)`` order.
+
+    The waiter queue is a binary heap keyed by ``(priority, seq)`` —
+    O(log n) per enqueue/dequeue instead of the previous full re-sort per
+    arrival.  Withdrawing a queued request (``release()`` before grant)
+    uses *lazy deletion*: the entry stays in the heap and is skipped by
+    :meth:`_grant_next` once it is no longer in the live set.
+    """
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
-        super().__init__(env, capacity)
         self._seq = 0
+        super().__init__(env, capacity)
+
+    def _init_waiters(self) -> None:
+        self._heap: List[Tuple[int, int, PriorityRequest]] = []
+        self._queued: set = set()
+
+    @property
+    def queue(self) -> Tuple[PriorityRequest, ...]:
+        """Live queued requests in grant order (for introspection/tests)."""
+        return tuple(
+            r for _, _, r in sorted(self._heap) if id(r) in self._queued
+        )
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -157,15 +200,29 @@ class PriorityResource(Resource):
         """Ask for one slot with ``priority`` (lower is served first)."""
         return PriorityRequest(self, priority)
 
-    def _do_request(self, request: Request) -> None:
+    def _do_request(self, request: PriorityRequest) -> None:  # type: ignore[override]
         if len(self.users) < self._capacity:
             self.users.append(request)
-            request.succeed()
+            request._succeed_inline()
         else:
-            self.queue.append(request)
-            # Keep queue sorted by (priority, seq).  Queues are short in all
-            # our models, so insertion sort via sorted() is fine.
-            self.queue = deque(sorted(self.queue, key=lambda r: r.key))  # type: ignore[attr-defined]
+            heappush(self._heap, (request.priority, request._seq, request))
+            self._queued.add(id(request))
+
+    def _withdraw(self, request: Request) -> None:
+        self._queued.discard(id(request))
+
+    def _grant_next(self) -> None:
+        heap = self._heap
+        queued = self._queued
+        while heap and len(self.users) < self._capacity:
+            _, _, nxt = heap[0]
+            if id(nxt) not in queued:  # lazily-deleted tombstone
+                heappop(heap)
+                continue
+            heappop(heap)
+            queued.discard(id(nxt))
+            self.users.append(nxt)
+            nxt.succeed()
 
 
 class StorePut(Event):
@@ -174,7 +231,13 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        # Flattened Event.__init__ (no super() frame): one StorePut is
+        # allocated per delivered message — a top-five allocation site.
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
         store._do_put(self)
 
@@ -185,7 +248,12 @@ class StoreGet(Event):
     __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
-        super().__init__(store.env)
+        # Flattened Event.__init__ (see StorePut).
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         store._do_get(self)
 
 
@@ -213,28 +281,33 @@ class Store:
         return StoreGet(self)
 
     # -- internals ----------------------------------------------------------
+    # Immediately-satisfiable puts/gets are born processed (no kernel
+    # event): the freshly-constructed event has no callbacks yet, so the
+    # yielding process continues inline at the same simulated time.
+    # Parked counterparts woken here (``putter``/``getter``) *do* have a
+    # waiter attached and are scheduled normally via ``succeed``.
     def _do_put(self, event: StorePut) -> None:
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(event.item)
-            event.succeed()
+            event._succeed_inline()
         elif len(self.items) < self.capacity:
             self.items.append(event.item)
-            event.succeed()
+            event._succeed_inline()
         else:
             self._putters.append(event)
 
     def _do_get(self, event: StoreGet) -> None:
         if self.items:
             item = self.items.popleft()
-            event.succeed(item)
+            event._succeed_inline(item)
             if self._putters and len(self.items) < self.capacity:
                 putter = self._putters.popleft()
                 self.items.append(putter.item)
                 putter.succeed()
         elif self._putters:
             putter = self._putters.popleft()
-            event.succeed(putter.item)
+            event._succeed_inline(putter.item)
             putter.succeed()
         else:
             self._getters.append(event)
@@ -298,7 +371,7 @@ class Container:
     def _do_put(self, event: ContainerPut) -> None:
         if self._level + event.amount <= self.capacity:
             self._level += event.amount
-            event.succeed()
+            event._succeed_inline()
             self._serve_getters()
         else:
             self._putters.append(event)
@@ -306,7 +379,7 @@ class Container:
     def _do_get(self, event: ContainerGet) -> None:
         if event.amount <= self._level:
             self._level -= event.amount
-            event.succeed()
+            event._succeed_inline()
             self._serve_putters()
         else:
             if event.amount > self.capacity:
