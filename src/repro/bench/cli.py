@@ -9,6 +9,8 @@ writing code::
     python -m repro.bench.cli fig5 --transport tcp --client dpu --rw randread --bs 4k \
         --perfetto out.json --json-out results.json
     python -m repro.bench.cli trace --transport tcp --client dpu --rw randread --bs 4k
+    python -m repro.bench.cli doctor --transport tcp --client dpu --rw randread --bs 4k \
+        --slo 'p99<=2ms' --flame flame.txt --json-out doctor.json
     python -m repro.bench.cli compare results.json --baseline benchmarks/baselines/fig5_ci.json
     python -m repro.bench.cli providers
 
@@ -17,6 +19,13 @@ paper's units (GiB/s for >=64 KiB blocks, K IOPS otherwise).  ``trace``
 additionally prints the per-stage latency breakdown and one request's
 critical path; ``--telemetry`` (fig5/trace) appends the system utilization
 snapshot, ``--json`` (trace) emits everything machine-readable instead.
+
+``doctor`` runs a cell with wait-cause attribution attached, cross-checks
+the utilization and Little's laws, ranks resources by their share of
+sampled request time, and prints a one-line bottleneck verdict; ``--slo
+'p99<=500us'`` gates exit status for CI, ``--flame``/``--wait-flame``
+write collapsed-stack flamegraphs (speedscope / flamegraph.pl), and its
+``--json-out`` emits the ``repro-doctor-v1`` document.
 
 ``--perfetto PATH`` (fig5/trace) attaches the continuous telemetry
 sampler and writes a Chrome trace-event file — sampled request spans as
@@ -130,6 +139,40 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--perfetto", metavar="PATH", default=None,
                     help="also attach continuous telemetry and write a "
                          "Chrome trace-event file (Perfetto)")
+
+    pd = sub.add_parser(
+        "doctor",
+        help="wait-cause diagnosis: blame ranking, law cross-checks, "
+             "bottleneck verdict, SLO gates",
+    )
+    pd.add_argument("--transport", default="tcp")
+    pd.add_argument("--client", default="dpu", choices=["host", "dpu"])
+    pd.add_argument("--rw", default="randread",
+                    choices=["read", "write", "randread", "randwrite"])
+    pd.add_argument("--bs", type=parse_size, default=4096)
+    pd.add_argument("--jobs", type=int, default=None,
+                    help="FIO numjobs (default: 8 for >=1 MiB blocks, 16 below)")
+    pd.add_argument("--ssds", type=int, default=1, choices=[1, 2, 3, 4])
+    pd.add_argument("--runtime", type=float, default=None)
+    pd.add_argument("--sample", type=int, default=20,
+                    help="trace 1 in N operations (default 20)")
+    pd.add_argument("--quick", action="store_true",
+                    help="CI subset: short window, no continuous sampler "
+                         "(skips the Little's-law check)")
+    pd.add_argument("--slo", action="append", default=[], metavar="RULE",
+                    help="SLO gate, e.g. 'p99<=500us' or 'iops>=100000'; "
+                         "repeatable; any violation exits non-zero")
+    pd.add_argument("--json-out", metavar="PATH", default=None,
+                    help="write the repro-doctor-v1 JSON document")
+    pd.add_argument("--flame", metavar="PATH", default=None,
+                    help="write a sim-time collapsed-stack flamegraph "
+                         "(speedscope / flamegraph.pl)")
+    pd.add_argument("--wait-flame", metavar="PATH", default=None,
+                    help="write a wait-time flamegraph: queueing time by "
+                         "blamed resource under each span stack")
+    pd.add_argument("--perfetto", metavar="PATH", default=None,
+                    help="write a Chrome trace with per-resource cumulative "
+                         "blamed-wait counter tracks")
 
     pp = sub.add_parser(
         "perf",
@@ -322,6 +365,78 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_doctor(args) -> int:
+    from repro.bench.runner import run_fig5_doctored
+    from repro.sim.doctor import diagnose, parse_slo
+
+    # Validate SLO strings *before* burning a simulation run on them.
+    try:
+        for slo in args.slo:
+            parse_slo(slo)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    numjobs = args.jobs
+    if numjobs is None:
+        numjobs = 8 if args.bs >= 1024**2 else 16
+    runtime = args.runtime
+    if runtime is None and args.quick:
+        runtime = 0.02
+    label = (f"doctor {args.transport}/{args.client} {args.rw} bs={args.bs} "
+             f"jobs={numjobs} ssds={args.ssds}")
+    run = run_fig5_doctored(
+        args.transport, args.client, args.rw, args.bs, numjobs,
+        n_ssds=args.ssds, runtime=runtime, sample_every=args.sample,
+        observe_sampler=not args.quick,
+    )
+    littles = run.sampler.littles_law() if run.sampler is not None else None
+    diag = diagnose(run.result, run.collector, run.tracer,
+                    stations=run.stations, littles_rows=littles,
+                    slos=args.slo, label=label)
+
+    if args.flame or args.wait_flame:
+        from repro.sim.flame import fold_spans, fold_waits, write_collapsed
+
+        if args.flame:
+            folded = fold_spans(run.collector.spans)
+            write_collapsed(args.flame, folded)
+            print(f"wrote flamegraph {args.flame} ({len(folded)} stacks)")
+        if args.wait_flame:
+            folded = fold_waits(run.collector.spans, run.tracer.records)
+            write_collapsed(args.wait_flame, folded)
+            print(f"wrote wait flamegraph {args.wait_flame} "
+                  f"({len(folded)} stacks)")
+    if args.perfetto:
+        from repro.sim.chrometrace import write_chrome_trace
+
+        doc = write_chrome_trace(
+            args.perfetto, spans=run.collector.spans, sampler=run.sampler,
+            label=label, extra_series=run.tracer.wait_series())
+        other = doc.get("otherData", {})
+        print(f"wrote Perfetto trace {args.perfetto}: "
+              f"{other.get('n_spans', 0)} spans, "
+              f"{other.get('n_counter_tracks', 0)} counter tracks")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(diag.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote doctor verdict {args.json_out}")
+
+    print(f"{label}: {_report(run.result)}")
+    print(diag.render())
+
+    from repro.sim.spans import LatencyBreakdown
+
+    breakdown = LatencyBreakdown(run.collector.spans,
+                                 stage_waits=run.tracer.stage_waits())
+    print()
+    print(breakdown.table("Latency breakdown (sampled requests)"))
+    return diag.exit_code
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -338,6 +453,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.experiment == "trace":
         return _run_trace(args)
+
+    if args.experiment == "doctor":
+        return _run_doctor(args)
 
     if args.experiment == "fig3":
         result = run_fig3_cell(args.rw, args.bs, args.jobs, n_ssds=args.ssds,

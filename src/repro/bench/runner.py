@@ -33,7 +33,10 @@ __all__ = [
     "run_fig5_cell",
     "run_fig5_traced",
     "run_fig5_observed",
+    "run_fig5_doctored",
+    "doctor_stations",
     "ObservedRun",
+    "DoctoredRun",
     "run_ros2_fio",
     "default_iodepth",
 ]
@@ -357,3 +360,115 @@ def run_fig5_observed(
     timeline.set_phases(warmup_end=t_end - spec.runtime, steady_end=t_end)
     return ObservedRun(result=result, collector=collector, sampler=sampler,
                        timeline=timeline, system=system, spec=spec)
+
+
+def doctor_stations(system: Ros2System) -> list:
+    """Independently-counted station occupancies for the utilization law.
+
+    Walks the same servers :func:`repro.core.telemetry.install_probes`
+    probes and reads each one's own ``busy_time`` counter.  Stations that
+    share a blame name (the BF3 Arm RX core pool and the ``tcp_stack``
+    serialized section both report as ``dpu.arm_rx``) are summed into one
+    record — matching how the wait tracer aggregates them — so the
+    cross-check compares like with like.
+    """
+    from repro.sim.doctor import Station
+
+    acc: dict = {}
+
+    def add(name, busy, capacity=1):
+        if name is None:
+            return
+        rec = acc.get(name)
+        if rec is None:
+            acc[name] = [float(busy), int(capacity)]
+        else:
+            rec[0] += float(busy)
+            rec[1] += int(capacity)
+
+    seen = set()
+    for node in [system.client_node, system.server_node, system.launcher_node]:
+        if node.name in seen:
+            continue
+        seen.add(node.name)
+        add(node.cpu.name, node.cpu.busy_time, node.cpu.n_cores)
+        rx = node.tcp_rx_cpu
+        add(rx.name, rx.busy_time, rx.n_cores)
+        node.lock("tcp_stack")
+        for sec in node._locks.values():
+            add(sec._server.name, sec.busy_time, 1)
+        port = getattr(node, "port", None)
+        if port is not None:
+            add(port.tx.name, port.tx.busy_time, 1)
+            add(port.rx.name, port.rx.busy_time, 1)
+    for dev in system.server_node.nvme.devices:
+        add(f"nvme.ssd{dev.index}", dev.busy_time, 1)
+    for target in system.engine.targets:
+        xs = target.xstream
+        add(xs.name, xs.busy_time, 1)
+    return [Station(name=n, busy_time=b, capacity=c)
+            for n, (b, c) in sorted(acc.items())]
+
+
+@dataclass
+class DoctoredRun:
+    """A fully-diagnosed Fig. 5 cell: measurements plus the doctor's inputs.
+
+    ``tracer`` holds the wait-cause records (installed at *t = 0*, before
+    prefill, so its per-resource service aggregates cover the exact same
+    window as each station's ``busy_time`` counter); ``stations`` is the
+    :func:`doctor_stations` walk taken after the run.
+    """
+
+    result: FioResult
+    collector: SpanCollector
+    tracer: "object"  # WaitTracer (avoid a bench->sim.waits type cycle here)
+    sampler: Optional[Sampler]
+    stations: list
+    system: Ros2System
+    spec: FioJobSpec
+
+
+def run_fig5_doctored(
+    provider: str,
+    client: str,
+    rw: str,
+    bs: int,
+    numjobs: int,
+    n_ssds: int = 1,
+    iodepth: Optional[int] = None,
+    runtime: Optional[float] = None,
+    sample_every: int = 20,
+    observe_sampler: bool = True,
+) -> DoctoredRun:
+    """A Fig. 5 cell instrumented for the bottleneck doctor.
+
+    Installs a :class:`~repro.sim.waits.WaitTracer` before anything runs
+    (so tracer aggregates and station busy counters see identical
+    windows), records per-operation latency for the SLO gates, and
+    optionally attaches the standard sampler so Little's law can be
+    checked too (``observe_sampler=False`` skips it for quick CI runs).
+    """
+    import dataclasses
+
+    from repro.sim.waits import WaitTracer
+
+    system, spec = _build_fig5(provider, client, rw, bs, numjobs,
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+    spec = dataclasses.replace(spec, record_latency=True)
+    tracer = WaitTracer(system.env)
+    tracer.install()
+    sampler = None
+    if observe_sampler:
+        from repro.core.telemetry import observe
+
+        sampler = observe(system,
+                          interval=(spec.ramp_time + spec.runtime) / 400.0)
+    collector = SpanCollector(system.env, sample_every=sample_every)
+    result = run_ros2_fio(system, spec, collector=collector)
+    if sampler is not None:
+        sampler.stop()
+    stations = doctor_stations(system)
+    return DoctoredRun(result=result, collector=collector, tracer=tracer,
+                       sampler=sampler, stations=stations, system=system,
+                       spec=spec)

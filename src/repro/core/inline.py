@@ -144,7 +144,8 @@ class InlineCrypto:
         if accelerated is None:
             accelerated = node.spec.name == "bluefield-3"
         self.accelerated = bool(accelerated)
-        self._engine = FifoServer(self.env, rate=DPU_CRYPTO_ACCEL_RATE)
+        self._engine = FifoServer(self.env, rate=DPU_CRYPTO_ACCEL_RATE,
+                                  name=f"{node.name}.crypto")
         self.bytes_processed = 0
 
     def crypt(

@@ -34,6 +34,7 @@ class CpuPool:
         spec: HostSpec,
         n_cores: Optional[int] = None,
         factor: Optional[float] = None,
+        name: Optional[str] = None,
     ) -> None:
         self.env = env
         self.spec = spec
@@ -42,7 +43,12 @@ class CpuPool:
             raise ValueError(f"need at least one core, got {self.n_cores}")
         #: Multiplier applied to every x86-baseline cost.
         self.factor = float(factor if factor is not None else spec.cycle_factor)
-        self._pool = PooledServer(env, self.n_cores)
+        self._pool = PooledServer(env, self.n_cores, name=name)
+
+    @property
+    def name(self) -> Optional[str]:
+        """Resource name for wait-cause attribution."""
+        return self._pool.name
 
     def execute(self, x86_cost: float) -> Timeout:
         """Run ``x86_cost`` seconds of baseline work on the earliest-free core."""
@@ -86,11 +92,15 @@ class SerializedSection:
 
     __slots__ = ("env", "name", "factor", "_server")
 
-    def __init__(self, env: Environment, name: str, lock_factor: float = 1.0) -> None:
+    def __init__(self, env: Environment, name: str, lock_factor: float = 1.0,
+                 wait_name: Optional[str] = None) -> None:
         self.env = env
         self.name = name
         self.factor = float(lock_factor)
-        self._server = FifoServer(env)
+        # ``wait_name`` lets a section share a blame bucket with the pool
+        # it stands in for (e.g. the BF3 tcp_stack section and the Arm RX
+        # core pool both attribute to "dpu.arm_rx").
+        self._server = FifoServer(env, name=wait_name or name)
 
     def enter(self, x86_cost: float) -> Timeout:
         """Pass through the section, paying ``x86_cost`` (scaled) serially."""

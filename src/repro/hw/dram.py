@@ -55,7 +55,8 @@ class DramPool:
         self.env = env
         self.name = name
         self.capacity_bytes = int(capacity_bytes)
-        self._free = Container(env, capacity=capacity_bytes, init=capacity_bytes)
+        self._free = Container(env, capacity=capacity_bytes, init=capacity_bytes,
+                               name=name)
         self.occupancy = Gauge(env, f"{name}.occupancy")
 
     @property

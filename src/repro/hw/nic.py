@@ -27,10 +27,12 @@ class Port:
     def __init__(self, env: Environment, name: str, spec: LinkSpec) -> None:
         self.name = name
         self.tx = BandwidthPipe(
-            env, spec.rate_bytes, latency=0.0, chunk_bytes=spec.chunk_bytes
+            env, spec.rate_bytes, latency=0.0, chunk_bytes=spec.chunk_bytes,
+            name=f"net.{name}.tx",
         )
         self.rx = BandwidthPipe(
-            env, spec.rate_bytes, latency=0.0, chunk_bytes=spec.chunk_bytes
+            env, spec.rate_bytes, latency=0.0, chunk_bytes=spec.chunk_bytes,
+            name=f"net.{name}.rx",
         )
 
     def bytes_sent(self) -> int:
@@ -121,8 +123,10 @@ class DuplexLink:
         self.env = env
         self.a = a
         self.b = b
-        self._ab = BandwidthPipe(env, rate_bytes, latency, chunk_bytes)
-        self._ba = BandwidthPipe(env, rate_bytes, latency, chunk_bytes)
+        self._ab = BandwidthPipe(env, rate_bytes, latency, chunk_bytes,
+                                 name=f"link.{a}.{b}")
+        self._ba = BandwidthPipe(env, rate_bytes, latency, chunk_bytes,
+                                 name=f"link.{b}.{a}")
 
     def pipe(self, src: str, dst: str) -> BandwidthPipe:
         """The directional pipe from ``src`` to ``dst``."""

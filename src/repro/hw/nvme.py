@@ -33,7 +33,7 @@ class NvmeDevice:
         self.env = env
         self.spec = spec
         self.index = index
-        self._server = FifoServer(env)
+        self._server = FifoServer(env, name=f"nvme.ssd{index}")
         self.reads = RateMeter(env, f"nvme{index}.reads")
         self.writes = RateMeter(env, f"nvme{index}.writes")
 

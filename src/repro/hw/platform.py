@@ -42,16 +42,22 @@ class Node:
         self.env = env
         self.name = name
         self.spec = spec
+        #: True for the BlueField-3's Arm complex (blame-bucket naming).
+        self.is_arm_dpu = "bluefield" in spec.name.lower()
         #: General-purpose core pool (application + stack work).
-        self.cpu = CpuPool(env, spec)
+        self.cpu = CpuPool(env, spec, name=f"{name}.cpu")
         #: Cores that TCP receive processing is confined to (softirq/NAPI).
         #: The pool factor is the platform's *total* per-byte RX penalty
         #: (it already subsumes the cycle factor for this specialized path).
+        #: On the BlueField the pool is blamed as ``<node>.arm_rx`` — the
+        #: same bucket as the serialized Arm stack section — so the doctor
+        #: sees the paper's "Arm RX path" as one resource (§4.4, Fig. 5).
         self.tcp_rx_cpu = CpuPool(
             env,
             spec,
             n_cores=max(1, min(spec.tcp_rx_cores, spec.cores)),
             factor=spec.tcp_rx_byte_factor,
+            name=f"{name}.arm_rx" if self.is_arm_dpu else f"{name}.tcp_rx",
         )
         self.dram = DramPool(env, spec.dram_bytes, name=f"{name}.dram")
         self._locks: Dict[str, SerializedSection] = {}
@@ -60,8 +66,16 @@ class Node:
         """Get or create the named host-wide serialized section."""
         sec = self._locks.get(name)
         if sec is None:
+            # The BF3 tcp_stack section is the calibrated stand-in for the
+            # Arm kernel RX/stack path; it shares the Arm-RX blame bucket.
+            wait_name = (
+                f"{self.name}.arm_rx"
+                if self.is_arm_dpu and name == "tcp_stack"
+                else f"{self.name}.{name}"
+            )
             sec = self._locks[name] = SerializedSection(
-                self.env, f"{self.name}.{name}", self.spec.lock_factor
+                self.env, f"{self.name}.{name}", self.spec.lock_factor,
+                wait_name=wait_name,
             )
         return sec
 

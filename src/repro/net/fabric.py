@@ -285,7 +285,10 @@ class RdmaChannel(FabricChannel):
             b.name: devices[b.name].create_qp(self.pds[b.name]),
         }
         self.qps[a.name].connect(self.qps[b.name])
-        self._inbox: Dict[str, Store] = {a.name: Store(self.env), b.name: Store(self.env)}
+        self._inbox: Dict[str, Store] = {
+            a.name: Store(self.env, name=f"{a.name}.fabric_inbox"),
+            b.name: Store(self.env, name=f"{b.name}.fabric_inbox"),
+        }
         self._mrs: Dict[int, MemoryRegion] = {}
 
     def send(self, msg: Message) -> Generator[Event, None, None]:

@@ -204,7 +204,7 @@ class CompletionQueue:
 
     def __init__(self, env: Environment) -> None:
         self.env = env
-        self._store = Store(env)
+        self._store = Store(env, name="rdma.cq")
 
     def push(self, completion: Completion) -> None:
         """Add a completion (never blocks)."""
@@ -241,7 +241,8 @@ class QueuePair:
         self.send_cq = send_cq or CompletionQueue(self.env)
         self.recv_cq = recv_cq or CompletionQueue(self.env)
         self.remote: Optional["QueuePair"] = None
-        self._recv_queue: Store = Store(self.env)  # posted recv WRs
+        self._recv_queue: Store = Store(self.env,
+                                        name="rdma.recv_queue")  # posted recv WRs
 
     # -- connection management ---------------------------------------------
     def connect(self, remote: "QueuePair") -> None:

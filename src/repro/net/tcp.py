@@ -53,20 +53,22 @@ class TcpConnection:
         self._stacks: Dict[str, TcpStack] = {a.node.name: a, b.node.name: b}
         # Per-direction single-stream processing (per_conn_byte_cost).
         env = a.env
+        # Wait-attribution names are shared across connections of the same
+        # endpoint (one blame bucket per node-wide concept, not per conn).
         self._stream: Dict[str, FifoServer] = {
-            a.node.name: FifoServer(env),
-            b.node.name: FifoServer(env),
+            a.node.name: FifoServer(env, name=f"{a.node.name}.tcp_stream"),
+            b.node.name: FifoServer(env, name=f"{b.node.name}.tcp_stream"),
         }
         #: Per-endpoint inbox of delivered messages.
         self.inbox: Dict[str, Store] = {
-            a.node.name: Store(env),
-            b.node.name: Store(env),
+            a.node.name: Store(env, name=f"{a.node.name}.tcp_inbox"),
+            b.node.name: Store(env, name=f"{b.node.name}.tcp_inbox"),
         }
         #: Separate inbox for provider-internal messages (kinds starting
         #: with "_"), so RMA emulation never races application receives.
         self.internal: Dict[str, Store] = {
-            a.node.name: Store(env),
-            b.node.name: Store(env),
+            a.node.name: Store(env, name=f"{a.node.name}.tcp_internal"),
+            b.node.name: Store(env, name=f"{b.node.name}.tcp_internal"),
         }
         self.closed = False
         #: Per-direction hot-path capsule: every object :meth:`send` needs

@@ -19,6 +19,12 @@ dependency of this project).  It provides:
 * :mod:`repro.sim.timeseries` — the continuous telemetry bus (probes,
   bounded downsampling ring buffers, Little's-law self-check).
 * :mod:`repro.sim.chrometrace` — Chrome trace-event / Perfetto export.
+* :mod:`repro.sim.waits` — wait-cause attribution: why each process was
+  blocked, per-resource, tagged with the active span.
+* :mod:`repro.sim.flame` — sim-time and wait-time collapsed-stack
+  flamegraphs (speedscope / flamegraph.pl).
+* :mod:`repro.sim.doctor` — the automated bottleneck doctor: blame
+  ranking, utilization/Little's-law cross-checks, SLO gates.
 
 Time is a ``float`` in **seconds**.  All hardware models in
 :mod:`repro.hw` build directly on these primitives.
@@ -46,8 +52,11 @@ from repro.sim.spans import (
     Trace,
     critical_path,
 )
+from repro.sim.doctor import Diagnosis, SloRule, diagnose, parse_slo
+from repro.sim.flame import fold_spans, fold_waits, render_collapsed
 from repro.sim.timeseries import Probe, Sampler, StationStats, TimeSeries
 from repro.sim.trace import Tracer, TraceRecord
+from repro.sim.waits import WaitRecord, WaitTracer
 
 __all__ = [
     "AllOf",
@@ -55,6 +64,7 @@ __all__ = [
     "BandwidthPipe",
     "Container",
     "Counter",
+    "Diagnosis",
     "Environment",
     "Event",
     "FifoServer",
@@ -72,6 +82,7 @@ __all__ = [
     "RngStreams",
     "Sampler",
     "SimulationError",
+    "SloRule",
     "Span",
     "SpanCollector",
     "StationStats",
@@ -81,5 +92,12 @@ __all__ = [
     "Trace",
     "TraceRecord",
     "Tracer",
+    "WaitRecord",
+    "WaitTracer",
     "critical_path",
+    "diagnose",
+    "fold_spans",
+    "fold_waits",
+    "parse_slo",
+    "render_collapsed",
 ]

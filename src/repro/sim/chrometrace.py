@@ -144,10 +144,17 @@ def build_chrome_trace(
     spans: Iterable[Span] = (),
     sampler: Optional[Sampler] = None,
     label: str = "repro",
+    extra_series: Iterable[TimeSeries] = (),
 ) -> dict:
-    """Assemble the full trace document (JSON-serialisable dict)."""
+    """Assemble the full trace document (JSON-serialisable dict).
+
+    ``extra_series`` adds counter tracks beyond the sampler's probes —
+    e.g. :meth:`repro.sim.waits.WaitTracer.wait_series`, one cumulative
+    blamed-wait counter per resource.
+    """
     spans = [s for s in spans if s.t_end is not None]
     series = list(sampler.series.values()) if sampler is not None else []
+    series.extend(extra_series)
     pids = _pid_map([s.node for s in spans] + [s.node for s in series])
     events: List[dict] = []
     events.extend(_process_metadata(pids))
@@ -171,9 +178,11 @@ def write_chrome_trace(
     spans: Iterable[Span] = (),
     sampler: Optional[Sampler] = None,
     label: str = "repro",
+    extra_series: Iterable[TimeSeries] = (),
 ) -> dict:
     """Build and write the trace; returns the document that was written."""
-    doc = build_chrome_trace(spans, sampler, label=label)
+    doc = build_chrome_trace(spans, sampler, label=label,
+                             extra_series=extra_series)
     if hasattr(path_or_file, "write"):
         json.dump(doc, path_or_file)
     else:

@@ -456,7 +456,8 @@ class Environment:
 
     __slots__ = ("_now", "_queue", "_eid", "_active", "_trace_hook",
                  "_trace_subscribers", "_trace_snapshot",
-                 "_events_processed", "_tfree", "_timeouts_recycled")
+                 "_events_processed", "_tfree", "_timeouts_recycled",
+                 "_wait_tracer")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -477,6 +478,10 @@ class Environment:
         self._tfree: list = []
         #: How many Timeout allocations the free-list saved (for perfbench).
         self._timeouts_recycled = 0
+        #: Wait-cause tracer (:class:`repro.sim.waits.WaitTracer`) or None.
+        #: Hot paths pay one ``is not None`` test when no tracer is
+        #: installed, mirroring ``_trace_hook`` and station ``_stats``.
+        self._wait_tracer = None
 
     # -- trace subscription -------------------------------------------------
     def add_trace_subscriber(self, fn: Callable[[Event], None]) -> None:
@@ -555,6 +560,9 @@ class Environment:
         event here once ``sys.getrefcount`` proves nothing else can
         observe it.
         """
+        wt = self._wait_tracer
+        if wt is not None:
+            wt.on_timeout(delay)
         tfree = self._tfree
         if tfree:
             if delay < 0:
@@ -584,6 +592,9 @@ class Environment:
         now = self._now
         if when < now:
             raise ValueError(f"timeout_until({when}) lies in the past (now={now})")
+        wt = self._wait_tracer
+        if wt is not None:
+            wt.on_timeout(when - now)
         tfree = self._tfree
         if tfree:
             t = tfree.pop()

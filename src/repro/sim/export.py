@@ -28,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "metric_name",
+    "escape_label_value",
+    "unescape_label_value",
     "monitor_to_dict",
     "to_prometheus",
     "to_json_dict",
@@ -44,6 +46,27 @@ def metric_name(name: str, prefix: str = "repro") -> str:
     if clean and clean[0].isdigit():
         clean = "_" + clean
     return f"{prefix}_{clean}" if prefix else clean
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF.
+
+    Stage names flow into ``stage="..."`` labels verbatim, and nothing
+    upstream forbids quotes or newlines in them — unescaped they would
+    truncate the label (or split the line) and corrupt the scrape.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (unknown escapes pass through)."""
+    return _UNESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value)
 
 
 def _fmt(value: float) -> str:
@@ -151,7 +174,8 @@ def to_prometheus(
         m = metric_name("trace_stage_self_seconds_total", prefix)
         lines.append(f"# TYPE {m} counter")
         for stage, total, _share in breakdown.shares():
-            lines.append(f'{m}{{stage="{stage}"}} {_fmt(total)}')
+            lines.append(
+                f'{m}{{stage="{escape_label_value(stage)}"}} {_fmt(total)}')
 
     return "\n".join(lines) + "\n"
 
@@ -190,9 +214,12 @@ def to_json(
 # Round-trip parsing (tests, tooling)
 # ---------------------------------------------------------------------------
 
+# Label values are quoted strings with backslash escapes, so a `}` or `"`
+# *inside* a value must not end the label set — match quote-aware instead
+# of the naive `[^}]*`.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?\s*)*)\})?'
     r"\s+(?P<value>\S+)\s*$"
 )
 

@@ -213,6 +213,28 @@ class LatencyRecorder:
         self._samples.clear()
         self._hist = None
 
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other``'s distribution into this recorder; returns self.
+
+        The merge is **exact in counts**: while both sides hold raw
+        samples the lists concatenate (identical to having recorded every
+        sample into one recorder); once either side has spilled, counts
+        are added bucket-by-bucket into this recorder's log histogram —
+        same bucket geometry, no re-sampling.  ``other`` is not modified.
+        """
+        if self._hist is None and other._hist is None:
+            self._samples.extend(other._samples)
+            if len(self._samples) >= self.spill_threshold:
+                self._spill()
+            return self
+        if self._hist is None:
+            self._spill()
+        if other._hist is not None:
+            self._hist.merge(other._hist)
+        elif other._samples:
+            self._hist.record_many(other._samples)
+        return self
+
     def histogram(self):
         """The streaming histogram view (spilling exact samples if needed)."""
         if self._hist is None:

@@ -51,12 +51,15 @@ class FifoServer:
     next becomes free).
     """
 
-    __slots__ = ("env", "rate", "_free_at", "busy_time", "ops", "_stats")
+    __slots__ = ("env", "rate", "name", "_free_at", "busy_time", "ops", "_stats")
 
-    def __init__(self, env: Environment, rate: Optional[float] = None) -> None:
+    def __init__(self, env: Environment, rate: Optional[float] = None,
+                 name: Optional[str] = None) -> None:
         self.env = env
         #: Optional service rate in units/second for :meth:`serve_units`.
         self.rate = rate
+        #: Resource name for wait-cause attribution (None = anonymous).
+        self.name = name
         self._free_at = 0.0
         #: Cumulative seconds of service performed (for utilization).
         self.busy_time = 0.0
@@ -99,6 +102,9 @@ class FifoServer:
         self.ops += 1
         if self._stats is not None:
             self._stats.record(now, done)
+        wt = env._wait_tracer
+        if wt is not None:
+            wt.reserve(self.name, start - now, duration)
         return env.timeout(done - now)
 
     def serve_then(self, duration: float, extra_delay: float) -> Timeout:
@@ -128,6 +134,9 @@ class FifoServer:
         self.ops += 1
         if self._stats is not None:
             self._stats.record(now, done)
+        wt = env._wait_tracer
+        if wt is not None:
+            wt.reserve(self.name, start - now, duration, extra_delay)
         return env.timeout_until((now + (done - now)) + extra_delay)
 
     def serve_units(self, units: float) -> Timeout:
@@ -151,13 +160,16 @@ class PooledServer:
     pool under non-preemptive dispatch.
     """
 
-    __slots__ = ("env", "n", "_free", "busy_time", "ops", "_stats")
+    __slots__ = ("env", "n", "name", "_free", "busy_time", "ops", "_stats")
 
-    def __init__(self, env: Environment, n: int) -> None:
+    def __init__(self, env: Environment, n: int,
+                 name: Optional[str] = None) -> None:
         if n <= 0:
             raise ValueError(f"need at least one server, got {n}")
         self.env = env
         self.n = int(n)
+        #: Resource name for wait-cause attribution (None = anonymous).
+        self.name = name
         self._free = [0.0] * self.n
         heapq.heapify(self._free)
         self.busy_time = 0.0
@@ -188,6 +200,9 @@ class PooledServer:
         self.ops += 1
         if self._stats is not None:
             self._stats.record(now, done)
+        wt = env._wait_tracer
+        if wt is not None:
+            wt.reserve(self.name, start - now, duration)
         return env.timeout(done - now)
 
     def backlog(self) -> float:
@@ -238,6 +253,7 @@ class BandwidthPipe:
         latency: float = 0.0,
         chunk_bytes: int = 64 * 1024,
         coalesce: bool = True,
+        name: Optional[str] = None,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
@@ -249,7 +265,9 @@ class BandwidthPipe:
         #: One-way propagation + fixed per-message latency in seconds.
         self.latency = float(latency)
         self.chunk_bytes = int(chunk_bytes)
-        self._server = FifoServer(env)
+        # The internal server carries the pipe's wait-attribution name so
+        # chunk reservations and the latency stage blame the same resource.
+        self._server = FifoServer(env, name=name)
         #: Total payload bytes moved (for reports).
         self.bytes_moved = 0
         #: Enable the single-event fast path for uncontended transfers.
@@ -275,6 +293,11 @@ class BandwidthPipe:
         self.revoked_ops = 0
 
     @property
+    def name(self) -> Optional[str]:
+        """Resource name for wait-cause attribution (None = anonymous)."""
+        return self._server.name
+
+    @property
     def busy_time(self) -> float:
         """Cumulative seconds the pipe spent transmitting."""
         return self._server.busy_time
@@ -298,6 +321,10 @@ class BandwidthPipe:
             raise ValueError(f"negative transfer size {nbytes}")
         self.bytes_moved += nbytes
         if self.latency:
+            wt = self.env._wait_tracer
+            if wt is not None:
+                # Pure propagation, blamed on the pipe (not a generic sleep).
+                wt.reserve(self._server.name, 0.0, 0.0, self.latency)
             yield self.env.timeout(self.latency)
         if nbytes == 0:
             return
@@ -312,9 +339,13 @@ class BandwidthPipe:
             bw = self.bandwidth
             chunk = self.chunk_bytes
             # Loop-invariant coalescing eligibility (only ``_inflight``
-            # changes mid-transfer; a telemetry recorder is attached
-            # between runs, never mid-transfer).
-            can_coalesce = self.coalesce and srv._stats is None
+            # changes mid-transfer; a telemetry recorder or wait tracer is
+            # attached between runs, never mid-transfer).  With a wait
+            # tracer installed we stay chunked so every reservation is
+            # observed individually — the chunked path is exactly
+            # equivalent by construction (DESIGN.md §9).
+            can_coalesce = (self.coalesce and srv._stats is None
+                            and self.env._wait_tracer is None)
             while remaining > 0:
                 if can_coalesce and self._inflight == 1:
                     # Alone on the pipe: one analytic reservation, one event.
@@ -379,6 +410,9 @@ class BandwidthPipe:
         srv.ops += full + (1 if tail else 0)
         if srv._stats is not None:  # pragma: no cover - guarded by caller
             srv._stats.record(now, done)
+        wt = env._wait_tracer
+        if wt is not None:  # pragma: no cover - guarded by caller
+            wt.reserve(srv.name, start - now, done - start)
         gate = env.timeout(done - now)
         self._co_gate = gate
         self._co_start = start
@@ -435,6 +469,11 @@ class BandwidthPipe:
         # stays in the event heap and fires inert (callbacks emptied); the
         # waiter — including its Process._target bookkeeping, so interrupts
         # keep working — moves to a fresh gate.
+        wt = env._wait_tracer
+        if wt is not None:
+            # Tracer installed mid-coalesce: the re-wake is bookkeeping for
+            # an already-recorded reservation, not a new wait.
+            wt._claimed = True
         new_gate = env.timeout(self._server._free_at - env.now)
         callbacks = gate.callbacks
         gate.callbacks = []

@@ -90,11 +90,14 @@ class Resource:
     part of the contract (pinned by a regression test).
     """
 
-    def __init__(self, env: Environment, capacity: int = 1) -> None:
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: "str | None" = None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self._capacity = int(capacity)
+        #: Resource name for wait-cause attribution (None = anonymous).
+        self.name = name
         self.users: List[Request] = []
         self._init_waiters()
 
@@ -136,6 +139,9 @@ class Resource:
             self.users.append(request)
             request._succeed_inline()
         else:
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.begin_block(request, self.name)
             self.queue.append(request)
 
     def _withdraw(self, request: Request) -> None:
@@ -144,11 +150,18 @@ class Resource:
             self.queue.remove(request)
         except ValueError:
             pass  # releasing twice is a no-op by design
+        else:
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.cancel_block(request)
 
     def _grant_next(self) -> None:
+        wt = self.env._wait_tracer
         while self.queue and len(self.users) < self._capacity:
             nxt = self.queue.popleft()
             self.users.append(nxt)
+            if wt is not None:
+                wt.end_block(nxt)
             nxt.succeed()
 
 
@@ -177,9 +190,10 @@ class PriorityResource(Resource):
     :meth:`_grant_next` once it is no longer in the live set.
     """
 
-    def __init__(self, env: Environment, capacity: int = 1) -> None:
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: "str | None" = None) -> None:
         self._seq = 0
-        super().__init__(env, capacity)
+        super().__init__(env, capacity, name)
 
     def _init_waiters(self) -> None:
         self._heap: List[Tuple[int, int, PriorityRequest]] = []
@@ -205,15 +219,22 @@ class PriorityResource(Resource):
             self.users.append(request)
             request._succeed_inline()
         else:
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.begin_block(request, self.name)
             heappush(self._heap, (request.priority, request._seq, request))
             self._queued.add(id(request))
 
     def _withdraw(self, request: Request) -> None:
         self._queued.discard(id(request))
+        wt = self.env._wait_tracer
+        if wt is not None:
+            wt.cancel_block(request)
 
     def _grant_next(self) -> None:
         heap = self._heap
         queued = self._queued
+        wt = self.env._wait_tracer
         while heap and len(self.users) < self._capacity:
             _, _, nxt = heap[0]
             if id(nxt) not in queued:  # lazily-deleted tombstone
@@ -222,6 +243,8 @@ class PriorityResource(Resource):
             heappop(heap)
             queued.discard(id(nxt))
             self.users.append(nxt)
+            if wt is not None:
+                wt.end_block(nxt)
             nxt.succeed()
 
 
@@ -260,11 +283,14 @@ class StoreGet(Event):
 class Store:
     """FIFO store of arbitrary items with optional capacity bound."""
 
-    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 name: "str | None" = None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
+        #: Resource name for wait-cause attribution (None = anonymous).
+        self.name = name
         self.items: Deque[Any] = deque()
         self._putters: Deque[StorePut] = deque()
         self._getters: Deque[StoreGet] = deque()
@@ -289,12 +315,18 @@ class Store:
     def _do_put(self, event: StorePut) -> None:
         if self._getters:
             getter = self._getters.popleft()
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.end_block(getter)
             getter.succeed(event.item)
             event._succeed_inline()
         elif len(self.items) < self.capacity:
             self.items.append(event.item)
             event._succeed_inline()
         else:
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.begin_block(event, self.name)
             self._putters.append(event)
 
     def _do_get(self, event: StoreGet) -> None:
@@ -303,13 +335,22 @@ class Store:
             event._succeed_inline(item)
             if self._putters and len(self.items) < self.capacity:
                 putter = self._putters.popleft()
+                wt = self.env._wait_tracer
+                if wt is not None:
+                    wt.end_block(putter)
                 self.items.append(putter.item)
                 putter.succeed()
         elif self._putters:
             putter = self._putters.popleft()
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.end_block(putter)
             event._succeed_inline(putter.item)
             putter.succeed()
         else:
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.begin_block(event, self.name)
             self._getters.append(event)
 
 
@@ -343,6 +384,7 @@ class Container:
         env: Environment,
         capacity: float = float("inf"),
         init: float = 0.0,
+        name: "str | None" = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -350,6 +392,8 @@ class Container:
             raise ValueError(f"init={init} outside [0, {capacity}]")
         self.env = env
         self.capacity = capacity
+        #: Resource name for wait-cause attribution (None = anonymous).
+        self.name = name
         self._level = float(init)
         self._putters: Deque[ContainerPut] = deque()
         self._getters: Deque[ContainerGet] = deque()
@@ -374,6 +418,9 @@ class Container:
             event._succeed_inline()
             self._serve_getters()
         else:
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.begin_block(event, self.name)
             self._putters.append(event)
 
     def _do_get(self, event: ContainerGet) -> None:
@@ -389,16 +436,25 @@ class Container:
                     )
                 )
                 return
+            wt = self.env._wait_tracer
+            if wt is not None:
+                wt.begin_block(event, self.name)
             self._getters.append(event)
 
     def _serve_getters(self) -> None:
+        wt = self.env._wait_tracer
         while self._getters and self._getters[0].amount <= self._level:
             g = self._getters.popleft()
             self._level -= g.amount
+            if wt is not None:
+                wt.end_block(g)
             g.succeed()
 
     def _serve_putters(self) -> None:
+        wt = self.env._wait_tracer
         while self._putters and self._level + self._putters[0].amount <= self.capacity:
             p = self._putters.popleft()
             self._level += p.amount
+            if wt is not None:
+                wt.end_block(p)
             p.succeed()

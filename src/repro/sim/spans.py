@@ -73,10 +73,16 @@ class Span:
         self.parent_id = parent_id
         self.name = name
         self.node = node
-        self.t_start = trace.env.now
+        env = trace.env
+        self.t_start = env.now
         self.t_end: Optional[float] = None
         self.nbytes = nbytes
         self.attrs = attrs or None
+        wt = env._wait_tracer
+        if wt is not None:
+            # Register as the active span of the opening process so wait
+            # events recorded while it is open are attributed to it.
+            wt.push_span(env._active, self)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -89,7 +95,11 @@ class Span:
     def finish(self) -> "Span":
         """Close the span at the current simulated time and record it."""
         if self.t_end is None:
-            self.t_end = self.trace.env.now
+            env = self.trace.env
+            self.t_end = env.now
+            wt = env._wait_tracer
+            if wt is not None:
+                wt.pop_span(env._active, self)
             self.trace.collector._record(self)
         return self
 
@@ -230,9 +240,15 @@ class LatencyBreakdown:
     durations of its direct children — to its stage bucket, so overlapping
     parent/child intervals are not double counted and (for sequential
     request shapes) the buckets sum exactly to the root durations.
+
+    ``stage_waits`` (from :meth:`repro.sim.waits.WaitTracer.stage_waits`)
+    optionally adds a per-resource blame column: for each stage, the
+    resource that accounts for the most attributed wait time.
     """
 
-    def __init__(self, spans: Iterable[Span]) -> None:
+    def __init__(self, spans: Iterable[Span],
+                 stage_waits: Optional[Dict[str, Dict[str, float]]] = None) -> None:
+        self.stage_waits = stage_waits
         spans = list(spans)
         child_time: Dict[int, float] = {}
         for s in spans:
@@ -281,40 +297,72 @@ class LatencyBreakdown:
                 best, best_t = k, v
         return best
 
+    def top_wait_cause(self, stage: str) -> Optional[tuple]:
+        """``(resource, seconds, fraction_of_stage_waits)`` for a stage.
+
+        Requires ``stage_waits``; ties broken by resource name so the
+        report is byte-stable across runs.
+        """
+        if not self.stage_waits:
+            return None
+        waits = self.stage_waits.get(stage)
+        if not waits:
+            return None
+        total = sum(waits.values())
+        if total <= 0.0:
+            return None
+        res, secs = min(waits.items(), key=lambda kv: (-kv[1], kv[0]))
+        return res, secs, secs / total
+
     def table(self, title: str = "Latency breakdown") -> str:
         """Render the paper-style attribution table."""
         from repro.bench.report import Table
 
         n = max(self.n_traces, 1)
-        t = Table(title, ["self us/op", "share", "spans"], row_header="stage")
+        cols = ["self us/op", "share", "spans"]
+        blame = self.stage_waits is not None
+        if blame:
+            cols.append("waiting on")
+        t = Table(title, cols, row_header="stage")
         for stage, total, share in self.shares():
-            t.add_row(stage, [
+            row = [
                 f"{total / n * 1e6:9.3f}",
                 f"{share * 100:5.1f}%",
                 str(self.stage_counts[stage]),
-            ])
-        t.add_row("(end-to-end)", [
+            ]
+            if blame:
+                top = self.top_wait_cause(stage)
+                row.append(f"{top[0]} ({top[2] * 100:.0f}%)" if top else "-")
+            t.add_row(stage, row)
+        tail = [
             f"{self.total_root_time / n * 1e6:9.3f}",
             f"{self.coverage() * 100:5.1f}% attributed",
             str(self.n_traces),
-        ])
+        ]
+        if blame:
+            tail.append("-")
+        t.add_row("(end-to-end)", tail)
         return t.render()
 
     def to_dict(self) -> dict:
         n = max(self.n_traces, 1)
+        stages = {}
+        for stage, total, share in self.shares():
+            row = {
+                "self_sec_total": total,
+                "self_sec_per_op": total / n,
+                "share": share,
+                "spans": self.stage_counts[stage],
+            }
+            if self.stage_waits is not None:
+                row["waits"] = dict(sorted(
+                    (self.stage_waits.get(stage) or {}).items()))
+            stages[stage] = row
         return {
             "n_traces": self.n_traces,
             "end_to_end_sec_per_op": self.total_root_time / n,
             "coverage": self.coverage(),
-            "stages": {
-                stage: {
-                    "self_sec_total": total,
-                    "self_sec_per_op": total / n,
-                    "share": share,
-                    "spans": self.stage_counts[stage],
-                }
-                for stage, total, share in self.shares()
-            },
+            "stages": stages,
         }
 
 

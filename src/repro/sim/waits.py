@@ -1,0 +1,391 @@
+"""Wait-cause attribution: *why* was each process blocked, and on what?
+
+Spans (:mod:`repro.sim.spans`) say **where** in the request path simulated
+time went; this module says **what each stage was waiting on**.  While a
+:class:`WaitTracer` is installed on an :class:`~repro.sim.core.Environment`,
+every primitive that makes a process give up the CPU reports a wait event:
+
+* **reserve** — a :class:`~repro.sim.queues.FifoServer` /
+  :class:`~repro.sim.queues.PooledServer` /
+  :class:`~repro.sim.queues.BandwidthPipe` reservation.  The split into
+  queueing delay (``wait``), occupancy (``service``) and post-service sleep
+  (``latency``) is analytically exact — reservation servers compute all
+  three before scheduling the single wake-up event.
+* **block** — a parked :class:`~repro.sim.resources.Resource` /
+  ``PriorityResource`` request, :class:`~repro.sim.resources.Store`
+  put/get or :class:`~repro.sim.resources.Container` put/get, measured
+  from park to grant.
+* **sleep** — a plain ``env.timeout`` not claimed by any primitive (pure
+  delays: switch propagation, polling intervals, think time).
+
+Each event is tagged with the *active span* of the process that waited (the
+innermost open span the current process pushed), so every span decomposes as
+``duration = service + Σ wait(resource_i)`` and the latency breakdown gains
+a per-resource blame column.
+
+Design rules (shared with spans and station stats):
+
+* **Zero cost when off** — every hook site guards with one
+  ``env._wait_tracer is not None`` attribute test; nothing is allocated
+  and no branch beyond the test is taken when no tracer is installed.
+* **Pure observation** — the tracer never schedules events or perturbs
+  wake-up order; a traced run is bit-identical to an untraced one.  (The
+  only interaction is that :class:`~repro.sim.queues.BandwidthPipe`
+  disables its coalescing fast path while a tracer is installed so that
+  per-chunk reservations are observed individually — the pipe's chunked
+  path is exactly equivalent by construction, see DESIGN.md §9.)
+* **Bounded memory** — the flat record list stops growing at
+  ``max_records`` (the drop count is reported), per-resource aggregate
+  scalars are O(#resources), and the per-resource cumulative-wait
+  counters are bounded :class:`~repro.sim.timeseries.TimeSeries` rings.
+
+Two accounting streams come out:
+
+* :attr:`WaitTracer.aggregates` — per-resource scalar totals over *all*
+  operations since install (prefill included).  These pair with each
+  station's own ``busy_time`` for the doctor's utilization-law check.
+* :attr:`WaitTracer.records` — span-attributed events (only recorded when
+  the waiting process has an open span, i.e. for sampled requests).
+  These feed the blame ranking, the per-span decomposition and the
+  wait-weighted flamegraphs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sim.timeseries import GAUGE, TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+    from repro.sim.spans import Span
+
+__all__ = ["WaitTracer", "WaitRecord", "ResourceWait",
+           "RESERVE", "BLOCK", "SLEEP", "SLEEP_RESOURCE", "ANON_RESOURCE"]
+
+#: Record kinds.
+RESERVE = "reserve"
+BLOCK = "block"
+SLEEP = "sleep"
+
+#: Pseudo-resource for unclaimed timeouts (pure delays).
+SLEEP_RESOURCE = "(sleep)"
+#: Fallback for primitives constructed without a name.
+ANON_RESOURCE = "(anon)"
+
+
+class WaitRecord:
+    """One span-attributed wait event.
+
+    ``wait`` is time spent queued (or parked, for blocks), ``service`` is
+    time occupying the resource, ``latency`` is a post-service fixed delay
+    (device access latency, pipe propagation, pure sleeps).  ``total``
+    is the simulated time the waiting process gave up for this event.
+    """
+
+    __slots__ = ("span", "resource", "kind", "wait", "service", "latency", "t")
+
+    def __init__(self, span: "Span", resource: str, kind: str,
+                 wait: float, service: float, latency: float, t: float) -> None:
+        self.span = span
+        self.resource = resource
+        self.kind = kind
+        self.wait = wait
+        self.service = service
+        self.latency = latency
+        #: Simulated time the event was recorded (reserve: at reservation;
+        #: block: at grant).
+        self.t = t
+
+    @property
+    def total(self) -> float:
+        return self.wait + self.service + self.latency
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span.span_id,
+            "trace_id": self.span.trace_id,
+            "stage": self.span.stage,
+            "resource": self.resource,
+            "kind": self.kind,
+            "wait": self.wait,
+            "service": self.service,
+            "latency": self.latency,
+            "t": self.t,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WaitRecord {self.kind} {self.resource} "
+                f"w={self.wait * 1e6:.2f}us s={self.service * 1e6:.2f}us "
+                f"l={self.latency * 1e6:.2f}us>")
+
+
+class ResourceWait:
+    """Per-resource scalar aggregates over every operation since install."""
+
+    __slots__ = ("name", "count", "wait", "service", "latency", "block")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.wait = 0.0
+        self.service = 0.0
+        self.latency = 0.0
+        self.block = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "wait_sec": self.wait,
+            "service_sec": self.service,
+            "latency_sec": self.latency,
+            "block_sec": self.block,
+        }
+
+
+class WaitTracer:
+    """Records wait causes for one environment while installed.
+
+    Usage::
+
+        tracer = WaitTracer(env)
+        tracer.install()        # or: with WaitTracer(env) as tracer: ...
+        ... run the scenario ...
+        tracer.uninstall()
+        blame = tracer.blame()
+    """
+
+    def __init__(self, env: "Environment", max_records: int = 1_000_000,
+                 series_capacity: int = 512) -> None:
+        self.env = env
+        self.max_records = int(max_records)
+        #: Span-attributed wait events (sampled requests only).
+        self.records: List[WaitRecord] = []
+        #: Events not recorded because ``max_records`` was reached.
+        self.records_dropped = 0
+        #: Per-resource totals over all operations since install.
+        self.aggregates: Dict[str, ResourceWait] = {}
+        # Per-process open-span stacks, keyed by the Process object that
+        # pushed the span (None for module-level pushes).
+        self._stacks: Dict[object, List["Span"]] = {}
+        # Reservation primitives set this right before creating their
+        # wake-up timeout so Environment.timeout does not double-count
+        # the same sim-time passage as a sleep.
+        self._claimed = False
+        # Parked request/put/get events -> (resource, park time, span).
+        # Keyed by the event object itself (strong ref, removed at grant
+        # or withdrawal) so id() reuse cannot mix up two waits.
+        self._blocked: Dict[object, Tuple[str, float, "Span"]] = {}
+        # Per-resource cumulative wait counters (Chrome-trace tracks).
+        self._series_capacity = int(series_capacity)
+        self._series: Dict[str, TimeSeries] = {}
+        self._series_last_t: Dict[str, float] = {}
+        self.t_installed: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "WaitTracer":
+        """Attach to the environment (at most one tracer at a time)."""
+        current = self.env._wait_tracer
+        if current is not None and current is not self:
+            raise RuntimeError("another WaitTracer is already installed")
+        self.env._wait_tracer = self
+        if self.t_installed is None:
+            self.t_installed = self.env.now
+        return self
+
+    def uninstall(self) -> None:
+        """Detach; hooks revert to the zero-cost no-tracer path."""
+        if self.env._wait_tracer is self:
+            self.env._wait_tracer = None
+
+    def __enter__(self) -> "WaitTracer":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- span stack (called from Span.__init__/finish) ----------------------
+
+    def push_span(self, proc, span: "Span") -> None:
+        self._stacks.setdefault(proc, []).append(span)
+
+    def pop_span(self, proc, span: "Span") -> None:
+        stack = self._stacks.get(proc)
+        if stack and stack[-1] is span:
+            stack.pop()
+            if not stack:
+                del self._stacks[proc]
+            return
+        # Tolerate out-of-order/cross-process finishes: remove the span
+        # wherever it was pushed (linear, but this is the cold path).
+        for key, st in list(self._stacks.items()):
+            try:
+                st.remove(span)
+            except ValueError:
+                continue
+            if not st:
+                del self._stacks[key]
+            return
+
+    def active_span(self) -> Optional["Span"]:
+        """Innermost open span of the currently-running process."""
+        stack = self._stacks.get(self.env._active)
+        return stack[-1] if stack else None
+
+    # -- hooks (called from kernel/primitives; tracer installed) ------------
+
+    def reserve(self, name: Optional[str], wait: float, service: float,
+                latency: float = 0.0) -> None:
+        """A reservation server computed its analytic wait/service split.
+
+        Claims the primitive's immediately-following wake-up timeout so it
+        is not double-counted as a sleep.
+        """
+        self._claimed = True
+        if name is None:
+            name = ANON_RESOURCE
+        agg = self.aggregates.get(name)
+        if agg is None:
+            agg = self.aggregates[name] = ResourceWait(name)
+        agg.count += 1
+        agg.wait += wait
+        agg.service += service
+        agg.latency += latency
+        now = self.env._now
+        if wait > 0.0:
+            self._bump_series(name, now, agg.wait + agg.block)
+        stack = self._stacks.get(self.env._active)
+        if stack:
+            self._append(WaitRecord(stack[-1], name, RESERVE,
+                                    wait, service, latency, now))
+
+    def on_timeout(self, delay: float) -> None:
+        """``env.timeout``/``timeout_until`` was called.
+
+        Consumed silently when a reservation just claimed it; otherwise
+        this is a pure delay, attributed to the ``(sleep)`` pseudo-resource
+        of the active span (unattributed sleeps — samplers, idle loops —
+        are not recorded at all).
+        """
+        if self._claimed:
+            self._claimed = False
+            return
+        stack = self._stacks.get(self.env._active)
+        if not stack:
+            return
+        agg = self.aggregates.get(SLEEP_RESOURCE)
+        if agg is None:
+            agg = self.aggregates[SLEEP_RESOURCE] = ResourceWait(SLEEP_RESOURCE)
+        agg.count += 1
+        agg.latency += delay
+        self._append(WaitRecord(stack[-1], SLEEP_RESOURCE, SLEEP,
+                                0.0, 0.0, delay, self.env._now))
+
+    def begin_block(self, event, name: Optional[str]) -> None:
+        """A request/put/get parked in a waiter queue."""
+        stack = self._stacks.get(self.env._active)
+        if not stack:
+            return
+        self._blocked[event] = (name or ANON_RESOURCE, self.env._now, stack[-1])
+
+    def end_block(self, event) -> None:
+        """A parked event is being granted/woken (same-instant resume)."""
+        info = self._blocked.pop(event, None)
+        if info is None:
+            return
+        name, t0, span = info
+        now = self.env._now
+        dur = now - t0
+        agg = self.aggregates.get(name)
+        if agg is None:
+            agg = self.aggregates[name] = ResourceWait(name)
+        agg.count += 1
+        agg.block += dur
+        if dur > 0.0:
+            self._bump_series(name, now, agg.wait + agg.block)
+        self._append(WaitRecord(span, name, BLOCK, dur, 0.0, 0.0, now))
+
+    def cancel_block(self, event) -> None:
+        """A parked event was withdrawn before being granted."""
+        self._blocked.pop(event, None)
+
+    def _append(self, record: WaitRecord) -> None:
+        if len(self.records) >= self.max_records:
+            self.records_dropped += 1
+            return
+        self.records.append(record)
+
+    def _bump_series(self, name: str, now: float, cum_wait: float) -> None:
+        ts = self._series.get(name)
+        if ts is None:
+            ts = self._series[name] = TimeSeries(
+                f"wait.{name}", capacity=self._series_capacity,
+                unit="s", kind=GAUGE)
+            self._series_last_t[name] = self.t_installed or 0.0
+        last = self._series_last_t[name]
+        ts.append(now, now - last, cum_wait)
+        if now > last:
+            self._series_last_t[name] = now
+
+    # -- analyses -----------------------------------------------------------
+
+    def blame(self) -> Dict[str, float]:
+        """Resource -> attributed seconds over all sampled spans.
+
+        Occupancy records only (reserve + sleep): block records mean
+        "waiting for another process's work downstream" and would double
+        count the downstream resource's own records.
+        """
+        out: Dict[str, float] = {}
+        for r in self.records:
+            if r.kind == BLOCK:
+                continue
+            out[r.resource] = out.get(r.resource, 0.0) + r.total
+        return out
+
+    def blocked_on(self) -> Dict[str, float]:
+        """Resource -> seconds sampled spans spent parked on it."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            if r.kind == BLOCK:
+                out[r.resource] = out.get(r.resource, 0.0) + r.wait
+        return out
+
+    def span_waits(self) -> Dict[int, Dict[str, float]]:
+        """span_id -> resource -> attributed seconds (blocks included)."""
+        out: Dict[int, Dict[str, float]] = {}
+        for r in self.records:
+            d = out.setdefault(r.span.span_id, {})
+            d[r.resource] = d.get(r.resource, 0.0) + r.total
+        return out
+
+    def stage_waits(self) -> Dict[str, Dict[str, float]]:
+        """Span stage -> resource -> attributed seconds (blocks included).
+
+        This is the per-resource blame column for
+        :class:`~repro.sim.spans.LatencyBreakdown`.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for r in self.records:
+            d = out.setdefault(r.span.stage, {})
+            d[r.resource] = d.get(r.resource, 0.0) + r.total
+        return out
+
+    def records_for_span(self, span_id: int) -> List[WaitRecord]:
+        return [r for r in self.records if r.span.span_id == span_id]
+
+    def wait_series(self) -> List[TimeSeries]:
+        """Cumulative blamed-wait counters, one per resource, name-sorted."""
+        return [self._series[k] for k in sorted(self._series)]
+
+    def to_dict(self) -> dict:
+        return {
+            "t_installed": self.t_installed,
+            "records": len(self.records),
+            "records_dropped": self.records_dropped,
+            "aggregates": {k: v.to_dict()
+                           for k, v in sorted(self.aggregates.items())},
+            "blame_sec": dict(sorted(self.blame().items())),
+            "blocked_on_sec": dict(sorted(self.blocked_on().items())),
+        }

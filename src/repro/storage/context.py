@@ -33,7 +33,7 @@ class JobThread:
         self.name = name
         #: Multiplier applied to every x86-baseline cost (host cycle factor).
         self.factor = float(factor)
-        self._server = FifoServer(env)
+        self._server = FifoServer(env, name=name)
 
     def run(self, x86_cost: float) -> Timeout:
         """Execute ``x86_cost`` seconds of baseline work on this thread."""

@@ -40,7 +40,7 @@ class PmemPool:
         self.env = env
         self.capacity_bytes = int(capacity_bytes)
         self.allocated = 0
-        self._dimm = FifoServer(env, rate=bandwidth)
+        self._dimm = FifoServer(env, rate=bandwidth, name="scm.dimm")
         self._store: Optional[SparseBytes] = (
             SparseBytes(capacity_bytes) if data_mode else None
         )

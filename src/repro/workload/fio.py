@@ -154,13 +154,16 @@ def run_fio(
     """
     rng = RngStreams(spec.seed)
     meter = RateMeter(env, "fio")
-    lat = LatencyRecorder("fio.lat", enabled=spec.record_latency)
+    # Per-job recorders, merged at report time — exactly how real FIO
+    # accounts latency (one log per job, folded into the group report).
+    job_lats = [LatencyRecorder(f"fio.lat.j{j}", enabled=spec.record_latency)
+                for j in range(spec.numjobs)]
     t_start = env.now
     measure_from = t_start + spec.ramp_time
     t_end = measure_from + spec.runtime
     stop = [False]
 
-    def lane(env, ctx, pattern):
+    def lane(env, ctx, pattern, lat):
         while not stop[0]:
             offset = pattern.next()
             t0 = env.now
@@ -188,16 +191,20 @@ def run_fio(
         else:
             pattern = SequentialPattern(region_start, spec.size, spec.bs)
         for _ in range(spec.iodepth):
-            env.process(lane(env, ctx, pattern), name=f"fio.j{j}")
+            env.process(lane(env, ctx, pattern, job_lats[j]), name=f"fio.j{j}")
 
     # Let the ramp pass, reset the window, then measure.
     env.run(until=measure_from)
     meter.reset()
-    lat.clear()
+    for rec in job_lats:
+        rec.clear()
     env.run(until=t_end + until_extra)
     stop[0] = True
     # Drain: in-flight operations complete but no new ones are issued.
     elapsed = meter.elapsed()
+    lat = LatencyRecorder("fio.lat", enabled=spec.record_latency)
+    for rec in job_lats:
+        lat.merge(rec)
     return FioResult(
         spec=spec,
         total_ios=meter.ops,

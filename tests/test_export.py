@@ -2,6 +2,7 @@
 
 import json
 import math
+import re
 
 import pytest
 
@@ -181,3 +182,52 @@ class TestSystemReportExport:
         assert d["busiest_component"] == report.busiest_component()
         doc = json.loads(report.to_json())
         assert doc == json.loads(json.dumps(d, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# Label escaping (stage names are arbitrary strings)
+# ---------------------------------------------------------------------------
+
+class TestLabelEscaping:
+    def test_escape_unescape_round_trip(self):
+        from repro.sim.export import escape_label_value, unescape_label_value
+
+        for raw in ('plain', 'has"quote', 'back\\slash', 'line\nbreak',
+                    'all\\"of\nthem\\\\"', ''):
+            esc = escape_label_value(raw)
+            assert "\n" not in esc  # stays on one exposition line
+            assert unescape_label_value(esc) == raw
+
+    def test_hostile_stage_name_survives_export_and_parse(self):
+        from repro.sim.export import unescape_label_value
+
+        env = Environment()
+        mon = Monitor(env)
+        col = SpanCollector(env)
+        stage = 'evil"st}age\\with\nnewline'
+        tr = col.trace(stage)
+        advance(env, 1.0)
+        tr.finish()
+        bd = LatencyBreakdown(col.spans)
+        text = to_prometheus(mon, breakdown=bd)
+        parsed = parse_prometheus(text)  # must not raise
+        keys = [k for k in parsed
+                if k[0] == "repro_trace_stage_self_seconds_total"]
+        assert len(keys) == 1
+        labels = keys[0][1]
+        m = re.match(r'stage="(.*)"$', labels)
+        assert m is not None
+        assert unescape_label_value(m.group(1)) == stage
+        assert parsed[keys[0]] == pytest.approx(1.0)
+
+    def test_parser_handles_brace_inside_label_value(self):
+        parsed = parse_prometheus('m{l="a}b"} 3\n')
+        assert parsed == {("m", 'l="a}b"'): 3.0}
+
+    def test_parser_handles_escaped_quote_inside_label_value(self):
+        parsed = parse_prometheus('m{l="a\\"b"} 7\n')
+        assert parsed[("m", 'l="a\\"b"')] == 7.0
+
+    def test_parser_still_rejects_unquoted_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("m{l=unquoted} 3\n")

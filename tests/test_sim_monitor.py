@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Monitor
+from repro.sim import Environment, LatencyRecorder, Monitor
 
 
 def test_counter_add():
@@ -171,3 +171,95 @@ def test_gauge_created_late_integrates_from_creation():
     env.run()
     # Integration starts at creation (t=5), not t=0: mean is 10*1/2 = 5.
     assert holder["g"].mean() == pytest.approx(5.0)
+
+
+# ---------------------------------------------------------------------------
+# LatencyRecorder.merge
+# ---------------------------------------------------------------------------
+
+def test_merge_unspilled_equals_single_recorder():
+    a = LatencyRecorder("a")
+    b = LatencyRecorder("b")
+    one = LatencyRecorder("one")
+    for i, x in enumerate([1e-3, 2e-3, 5e-4, 8e-3, 3e-3, 1e-4]):
+        (a if i % 2 == 0 else b).record(x)
+        one.record(x)
+    a.merge(b)
+    sa, so = a.summary(), one.summary()
+    assert sa["count"] == so["count"] == 6
+    for key in ("mean", "p50", "p95", "p99", "p999", "max"):
+        assert sa[key] == pytest.approx(so[key])
+    assert len(b) == 3  # other side untouched
+
+
+def test_merge_spills_when_crossing_threshold():
+    a = LatencyRecorder("a", spill_threshold=8)
+    b = LatencyRecorder("b", spill_threshold=8)
+    for i in range(5):
+        a.record(1e-3 * (i + 1))
+        b.record(2e-3 * (i + 1))
+    a.merge(b)
+    assert a.spilled
+    assert a.summary()["count"] == 10
+
+
+def test_merge_spilled_sides_exact_counts():
+    a = LatencyRecorder("a", spill_threshold=4)
+    b = LatencyRecorder("b", spill_threshold=4)
+    for i in range(10):
+        a.record(1e-4 * (i + 1))
+    for i in range(7):
+        b.record(5e-4 * (i + 1))
+    assert a.spilled and b.spilled
+    a.merge(b)
+    s = a.summary()
+    assert s["count"] == 17
+    assert s["max"] == pytest.approx(3.5e-3)
+
+
+def test_merge_mixed_spilled_and_exact():
+    a = LatencyRecorder("a", spill_threshold=4)
+    b = LatencyRecorder("b")  # stays exact
+    for i in range(6):
+        a.record(1e-4 * (i + 1))
+    b.record(9e-3)
+    a.merge(b)
+    s = a.summary()
+    assert s["count"] == 7
+    assert s["max"] == pytest.approx(9e-3)
+
+
+def test_merge_property_vs_single_recorder():
+    """Any split of a sample stream merges back to the same distribution."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-7, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=60),
+        cut=st.integers(min_value=0, max_value=60),
+        threshold=st.sampled_from([4, 16, 100000]),
+    )
+    def check(samples, cut, threshold):
+        cut = min(cut, len(samples))
+        a = LatencyRecorder("a", spill_threshold=threshold)
+        b = LatencyRecorder("b", spill_threshold=threshold)
+        one = LatencyRecorder("one", spill_threshold=threshold)
+        for x in samples[:cut]:
+            a.record(x)
+            one.record(x)
+        for x in samples[cut:]:
+            b.record(x)
+            one.record(x)
+        a.merge(b)
+        sa, so = a.summary(), one.summary()
+        assert sa["count"] == so["count"] == len(samples)
+        # Exact path: identical percentiles.  Spilled path: same bucket
+        # geometry on both sides, so summaries still agree exactly.
+        for key in ("mean", "p50", "p95", "p99", "p999", "max"):
+            assert sa[key] == pytest.approx(so[key], rel=1e-9)
+
+    check()

@@ -196,6 +196,53 @@ class TestLatencyBreakdown:
         assert bd.top_stage() is None
 
 
+class TestWaitBlameColumn:
+    """stage_waits (from WaitTracer.stage_waits) adds a blame column."""
+
+    def _breakdown(self):
+        env = Environment()
+        col = SpanCollector(env)
+        build_sequential_trace(env, col, [("rpc", 3.0), ("media", 1.0)])
+        stage_waits = {
+            "rpc": {"dpu.arm_rx": 2.5, "net.port": 0.5},
+            "media": {"nvme.ssd0": 1.0},
+        }
+        return LatencyBreakdown(col.spans, stage_waits=stage_waits)
+
+    def test_top_wait_cause_per_stage(self):
+        bd = self._breakdown()
+        res, secs, frac = bd.top_wait_cause("rpc")
+        assert res == "dpu.arm_rx"
+        assert secs == pytest.approx(2.5)
+        assert frac == pytest.approx(2.5 / 3.0)
+        assert bd.top_wait_cause("media") == ("nvme.ssd0", 1.0, 1.0)
+        assert bd.top_wait_cause("e2e") is None  # no waits for that stage
+
+    def test_top_wait_cause_ties_break_by_name(self):
+        env = Environment()
+        col = SpanCollector(env)
+        build_sequential_trace(env, col, [("s", 2.0)])
+        bd = LatencyBreakdown(col.spans,
+                              stage_waits={"s": {"zeta": 1.0, "alpha": 1.0}})
+        assert bd.top_wait_cause("s")[0] == "alpha"
+
+    def test_table_gains_waiting_on_column(self):
+        bd = self._breakdown()
+        text = bd.table("T")
+        assert "waiting on" in text
+        assert "dpu.arm_rx (83%)" in text
+        assert "nvme.ssd0 (100%)" in text
+        # Without stage_waits the column is absent.
+        assert "waiting on" not in LatencyBreakdown([]).table("T")
+
+    def test_to_dict_includes_wait_maps(self):
+        d = self._breakdown().to_dict()
+        assert d["stages"]["rpc"]["waits"] == {"dpu.arm_rx": 2.5,
+                                               "net.port": 0.5}
+        assert "waits" not in LatencyBreakdown([]).to_dict().get(
+            "stages", {}).get("rpc", {})
+
+
 class TestCriticalPath:
     def test_sequential_chain_fully_reconstructed(self):
         env = Environment()
