@@ -12,6 +12,12 @@ writing code::
     python -m repro.bench.cli doctor --transport tcp --client dpu --rw randread --bs 4k \
         --slo 'p99<=2ms' --flame flame.txt --json-out doctor.json
     python -m repro.bench.cli compare results.json --baseline benchmarks/baselines/fig5_ci.json
+    python -m repro.bench.cli doctor --quick --ledger            # record a run
+    python -m repro.bench.cli runs                               # list the ledger
+    python -m repro.bench.cli compare-runs fig5-tcp-dpu-randread-4096 \
+        fig5-rdma-dpu-randread-4096 --diff-wait-flame diff.txt
+    python -m repro.bench.cli doctor --quick --transport rdma \
+        --against fig5-tcp-dpu-randread-4096 --diff-out diff.json
     python -m repro.bench.cli providers
 
 Sizes accept ``4k``/``1m`` suffixes.  Output is one line per run in the
@@ -26,6 +32,15 @@ sampled request time, and prints a one-line bottleneck verdict; ``--slo
 'p99<=500us'`` gates exit status for CI, ``--flame``/``--wait-flame``
 write collapsed-stack flamegraphs (speedscope / flamegraph.pl), and its
 ``--json-out`` emits the ``repro-doctor-v1`` document.
+
+``--ledger`` (fig5/doctor/perf) appends the run to the **run ledger**
+(``benchmarks/ledger/``, one ``repro-run-v1`` JSON per run, content-
+derived stable IDs); ``runs`` lists/inspects it.  ``compare-runs`` and
+``doctor --against`` invoke the **differential doctor**: the end-to-end
+latency delta between two runs is decomposed into per-resource wait and
+service contributions (``repro-diff-v1``), with red/blue differential
+flamegraphs (``--diff-flame``/``--diff-wait-flame``) and a two-run
+Perfetto counter overlay (``--overlay``).
 
 ``--perfetto PATH`` (fig5/trace) attaches the continuous telemetry
 sampler and writes a Chrome trace-event file — sampled request spans as
@@ -74,6 +89,47 @@ def _report(result: FioResult) -> str:
     return f"{result.kiops:.1f} K IOPS ({result.total_ios} IOs)"
 
 
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    """Run-ledger options shared by fig5 / doctor / perf."""
+    parser.add_argument("--ledger", action="store_true",
+                        help="append this run as a repro-run-v1 record to "
+                             "the run ledger")
+    parser.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="ledger directory (default benchmarks/ledger)")
+    parser.add_argument("--git-sha", metavar="SHA", default=None,
+                        help="git SHA to stamp on the ledger record "
+                             "(default: $REPRO_GIT_SHA, then git rev-parse)")
+
+
+def _git_sha(args) -> Optional[str]:
+    """The SHA stamped on ledger records — passed in, never sim-computed."""
+    import os
+
+    sha = getattr(args, "git_sha", None) or os.environ.get("REPRO_GIT_SHA")
+    if sha:
+        return sha
+    import subprocess
+
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _now_iso() -> str:
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _ledger_dir(args) -> str:
+    from repro.bench import ledger as lg
+
+    return getattr(args, "ledger_dir", None) or lg.DEFAULT_LEDGER_DIR
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.bench.cli",
@@ -116,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a compact metrics JSON for 'cli compare'")
     p5.add_argument("--sample", type=int, default=20,
                     help="trace 1 in N requests when instrumented (default 20)")
+    _add_ledger_args(p5)
 
     pt = sub.add_parser(
         "trace",
@@ -173,6 +230,23 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--perfetto", metavar="PATH", default=None,
                     help="write a Chrome trace with per-resource cumulative "
                          "blamed-wait counter tracks")
+    _add_ledger_args(pd)
+    pd.add_argument("--against", metavar="RUN", default=None,
+                    help="differential mode: compare this run against a "
+                         "ledger run (run ID, unique ID prefix, or file "
+                         "path) and attribute the delta per resource")
+    pd.add_argument("--diff-out", metavar="PATH", default=None,
+                    help="write the repro-diff-v1 JSON verdict "
+                         "(requires --against)")
+    pd.add_argument("--diff-flame", metavar="PATH", default=None,
+                    help="write the red/blue differential folded stacks of "
+                         "span self time (requires --against)")
+    pd.add_argument("--diff-wait-flame", metavar="PATH", default=None,
+                    help="write the red/blue differential folded stacks of "
+                         "wait blame (requires --against)")
+    pd.add_argument("--overlay", metavar="PATH", default=None,
+                    help="write a Chrome trace overlaying both runs' wait "
+                         "counter tracks (requires --against)")
 
     pp = sub.add_parser(
         "perf",
@@ -195,6 +269,40 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--max-regression", type=float, default=0.30,
                     help="allowed relative drop on rate metrics when "
                          "gating (default 0.30)")
+    _add_ledger_args(pp)
+
+    pr = sub.add_parser(
+        "runs",
+        help="list or inspect ledger runs (benchmarks/ledger/)",
+    )
+    pr.add_argument("ref", nargs="?", default=None,
+                    help="run ID, unique ID prefix, or file path to "
+                         "inspect; omit to list all runs")
+    pr.add_argument("--ledger-dir", metavar="DIR", default=None,
+                    help="ledger directory (default benchmarks/ledger)")
+    pr.add_argument("--json", action="store_true",
+                    help="emit the listing / record as JSON")
+
+    pcr = sub.add_parser(
+        "compare-runs",
+        help="differential doctor on two ledger runs: attribute the "
+             "latency/IOPS delta per resource (no simulation)",
+    )
+    pcr.add_argument("base", help="baseline run: ID, unique prefix, or path")
+    pcr.add_argument("current", help="current run: ID, unique prefix, or path")
+    pcr.add_argument("--ledger-dir", metavar="DIR", default=None,
+                    help="ledger directory (default benchmarks/ledger)")
+    pcr.add_argument("--json-out", metavar="PATH", default=None,
+                     help="write the repro-diff-v1 JSON verdict")
+    pcr.add_argument("--diff-flame", metavar="PATH", default=None,
+                     help="write the red/blue differential folded stacks "
+                          "of span self time")
+    pcr.add_argument("--diff-wait-flame", metavar="PATH", default=None,
+                     help="write the red/blue differential folded stacks "
+                          "of wait blame")
+    pcr.add_argument("--overlay", metavar="PATH", default=None,
+                     help="write a Chrome trace overlaying both runs' "
+                          "wait counter tracks")
 
     pc = sub.add_parser(
         "compare",
@@ -279,6 +387,13 @@ def _run_perf(args) -> int:
     doc = pb.run_perfbench(quick=args.quick, repeat=args.repeat,
                            warmup=args.warmup)
     print(pb.render_summary(doc))
+    if args.ledger:
+        from repro.bench import ledger as lg
+
+        record = lg.make_perf_record(doc, git_sha=_git_sha(args),
+                                     created=_now_iso())
+        path = lg.save_run(record, _ledger_dir(args))
+        print(f"ledger: recorded {record['run_id']} -> {path}")
     if args.out:
         pb.save_doc(doc, args.out)
         print(f"wrote {args.out}")
@@ -365,6 +480,57 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _fig5_run_config(transport: str, client: str, spec, n_ssds: int,
+                     sample_every: int, quick: bool = False) -> dict:
+    """The identity a fig5-shaped ledger record is slugged and hashed on."""
+    return {
+        "experiment": "fig5",
+        "transport": transport,
+        "client": client,
+        "rw": spec.rw,
+        "bs": spec.bs,
+        "numjobs": spec.numjobs,
+        "iodepth": spec.iodepth,
+        "runtime": spec.runtime,
+        "ssds": n_ssds,
+        "sample_every": sample_every,
+        "quick": quick,
+    }
+
+
+def _write_diff_outputs(base: dict, current: dict, dd, json_out=None,
+                        diff_flame=None, diff_wait_flame=None,
+                        overlay=None) -> None:
+    """The differential artefacts shared by doctor --against / compare-runs."""
+    if json_out:
+        import json
+
+        with open(json_out, "w") as fh:
+            json.dump(dd.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote diff verdict {json_out}")
+    if diff_flame or diff_wait_flame:
+        from repro.sim.diffdoctor import diff_flames
+        from repro.sim.flame import write_diff_collapsed
+
+        flames = diff_flames(base, current)
+        if diff_flame:
+            write_diff_collapsed(diff_flame, flames["spans"])
+            print(f"wrote differential flamegraph {diff_flame} "
+                  f"({len(flames['spans'])} changed stacks)")
+        if diff_wait_flame:
+            write_diff_collapsed(diff_wait_flame, flames["waits"])
+            print(f"wrote differential wait flamegraph {diff_wait_flame} "
+                  f"({len(flames['waits'])} changed stacks)")
+    if overlay:
+        from repro.sim.diffdoctor import write_overlay_trace
+
+        doc = write_overlay_trace(overlay, base, current, label=dd.label)
+        other = doc.get("otherData", {})
+        print(f"wrote overlay trace {overlay}: "
+              f"{other.get('n_counter_tracks', 0)} counter tracks")
+
+
 def _run_doctor(args) -> int:
     from repro.bench.runner import run_fig5_doctored
     from repro.sim.doctor import diagnose, parse_slo
@@ -376,6 +542,25 @@ def _run_doctor(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    # Same fail-fast rule for the differential baseline: resolve the
+    # ledger reference (and catch dangling diff flags) up front.
+    base_record = None
+    if args.against:
+        from repro.bench import ledger as lg
+
+        try:
+            base_record = lg.load_run(args.against, _ledger_dir(args))
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        for opt in ("diff_out", "diff_flame", "diff_wait_flame", "overlay"):
+            if getattr(args, opt):
+                flag = "--" + opt.replace("_", "-")
+                print(f"error: {flag} requires --against",
+                      file=sys.stderr)
+                return 2
 
     numjobs = args.jobs
     if numjobs is None:
@@ -434,7 +619,112 @@ def _run_doctor(args) -> int:
                                  stage_waits=run.tracer.stage_waits())
     print()
     print(breakdown.table("Latency breakdown (sampled requests)"))
+
+    if args.ledger or base_record is not None:
+        from repro.bench import ledger as lg
+
+        config = _fig5_run_config(args.transport, args.client, run.spec,
+                                  args.ssds, args.sample, quick=args.quick)
+        record = lg.make_run_record(
+            run.result, run.collector, run.tracer, config=config,
+            label=label, kind="doctor", git_sha=_git_sha(args),
+            created=_now_iso())
+        if args.ledger:
+            path = lg.save_run(record, _ledger_dir(args))
+            print(f"ledger: recorded {record['run_id']} -> {path}")
+        if base_record is not None:
+            from repro.sim.diffdoctor import diff_runs
+
+            dd = diff_runs(base_record, record,
+                           label=f"{label} vs {base_record['run_id']}")
+            print()
+            print(dd.render())
+            _write_diff_outputs(base_record, record, dd,
+                                json_out=args.diff_out,
+                                diff_flame=args.diff_flame,
+                                diff_wait_flame=args.diff_wait_flame,
+                                overlay=args.overlay)
+            return max(diag.exit_code, dd.exit_code)
     return diag.exit_code
+
+
+def _run_runs(args) -> int:
+    import json
+
+    from repro.bench import ledger as lg
+    from repro.bench.report import Table
+
+    ldir = _ledger_dir(args)
+    if args.ref:
+        try:
+            record = lg.load_run(args.ref, ldir)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        print(f"run {record['run_id']} ({record.get('kind', '?')})")
+        print(f"label:   {record.get('label', '')}")
+        print(f"created: {record.get('created')}  "
+              f"git: {record.get('git_sha')}")
+        print(f"config:  {json.dumps(record.get('config', {}), sort_keys=True)}")
+        summary = lg.run_summary(record)
+        if summary.get("iops") is not None:
+            print(f"iops:    {summary['iops']:,.0f}")
+        if summary.get("p99") is not None:
+            print(f"p99:     {summary['p99'] * 1e6:.1f} us")
+        blame = record.get("blame", {})
+        if blame:
+            traces = max(1, record.get("traces", {}).get("count", 1))
+            rows = sorted(blame.items(),
+                          key=lambda kv: (-kv[1]["total"], kv[0]))
+            t = Table("Blame (per sampled request)", ["us/req"],
+                      row_header="resource")
+            for name, comp in rows[:8]:
+                t.add_row(name, [f"{comp['total'] / traces * 1e6:10.3f}"])
+            print(t.render())
+        return 0
+    records = lg.list_runs(ldir)
+    if args.json:
+        print(json.dumps([lg.run_summary(r) for r in records],
+                         indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no runs in {ldir}")
+        return 0
+    t = Table(f"Run ledger — {ldir}", ["kind", "iops", "p99 us", "created"],
+              row_header="run_id")
+    for r in records:
+        s = lg.run_summary(r)
+        t.add_row(s["run_id"], [
+            s["kind"],
+            "-" if s["iops"] is None else f"{s['iops']:,.0f}",
+            "-" if s["p99"] is None else f"{s['p99'] * 1e6:.1f}",
+            s["created"] or "-",
+        ])
+    print(t.render())
+    return 0
+
+
+def _run_compare_runs(args) -> int:
+    from repro.bench import ledger as lg
+    from repro.sim.diffdoctor import diff_runs
+
+    ldir = _ledger_dir(args)
+    try:
+        base = lg.load_run(args.base, ldir)
+        current = lg.load_run(args.current, ldir)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    dd = diff_runs(base, current)
+    print(dd.render())
+    _write_diff_outputs(base, current, dd, json_out=args.json_out,
+                        diff_flame=args.diff_flame,
+                        diff_wait_flame=args.diff_wait_flame,
+                        overlay=args.overlay)
+    return dd.exit_code
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -447,6 +737,12 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.experiment == "compare":
         return _run_compare(args)
+
+    if args.experiment == "runs":
+        return _run_runs(args)
+
+    if args.experiment == "compare-runs":
+        return _run_compare_runs(args)
 
     if args.experiment == "perf":
         return _run_perf(args)
@@ -470,6 +766,33 @@ def main(argv: Optional[list] = None) -> int:
     else:
         label = (f"fig5 {args.transport}/{args.client} {args.rw} bs={args.bs} "
                  f"jobs={args.jobs} ssds={args.ssds}")
+        if args.ledger:
+            # Ledger records need wait blame + flame stacks, so this path
+            # runs the doctored pipeline (tracer installed from t = 0).
+            if args.perfetto or args.json_out or args.telemetry:
+                print("error: fig5 --ledger runs the doctored pipeline; "
+                      "combine ledger recording with --perfetto via "
+                      "'doctor --ledger' instead", file=sys.stderr)
+                return 2
+            from repro.bench import ledger as lg
+            from repro.bench.runner import run_fig5_doctored
+
+            run = run_fig5_doctored(args.transport, args.client, args.rw,
+                                    args.bs, args.jobs, n_ssds=args.ssds,
+                                    runtime=args.runtime,
+                                    sample_every=args.sample,
+                                    observe_sampler=False)
+            print(f"{label}: {_report(run.result)}")
+            config = _fig5_run_config(args.transport, args.client, run.spec,
+                                      args.ssds, args.sample)
+            record = lg.make_run_record(run.result, run.collector,
+                                        run.tracer, config=config,
+                                        label=label, kind="fig5",
+                                        git_sha=_git_sha(args),
+                                        created=_now_iso())
+            path = lg.save_run(record, _ledger_dir(args))
+            print(f"ledger: recorded {record['run_id']} -> {path}")
+            return 0
         if args.perfetto or args.json_out:
             # Full observability stack: continuous telemetry + tracing.
             run = run_fig5_observed(args.transport, args.client, args.rw,

@@ -1,0 +1,309 @@
+"""The run ledger: a durable, diffable history of benchmark runs.
+
+Every headline claim in the paper is a *comparison* — DPU vs host, RDMA
+vs TCP — so a single run's verdict is only half the story.  The ledger
+makes runs first-class artefacts: each ``fig5``/``doctor``/``perf``
+invocation can append one ``repro-run-v1`` JSON record to a ledger
+directory (``benchmarks/ledger/`` for the committed campaign), and the
+differential doctor (:mod:`repro.sim.diffdoctor`) consumes any two
+records to explain *why* B beats A.
+
+A record carries everything delta attribution needs, already reduced:
+
+* the run ``config`` (experiment knobs) and its hash;
+* the full numeric ``metrics`` flatten (same flattener as the baseline
+  gate, so ledger records and baselines speak one metric namespace);
+* per-resource ``wait_aggregates`` (every operation since tracer
+  install) and sampled-span ``blame`` split into wait/service/latency;
+* collapsed flame stacks for both span self-time and wait blame
+  (integer nanoseconds — byte-stable);
+* optionally the per-resource cumulative-wait series points, so two
+  runs' counter tracks can be overlaid in one Perfetto trace.
+
+Run IDs are **content-derived**: a human slug from the config plus the
+first hex digits of the record's canonical-JSON hash (volatile fields —
+timestamps, git SHA — excluded).  The simulator is deterministic, so
+re-recording an unchanged cell reproduces the identical ID and file,
+and any code change that moves an outcome shows up as a new ID.  The
+git SHA is *passed in* by the caller (the CLI reads it from the
+environment or ``git rev-parse``); nothing in here shells out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.bench.baseline import flatten_numeric
+
+__all__ = [
+    "FORMAT",
+    "DEFAULT_LEDGER_DIR",
+    "canonical_json",
+    "config_hash",
+    "config_slug",
+    "make_run_record",
+    "make_perf_record",
+    "save_run",
+    "load_run",
+    "resolve_ref",
+    "list_runs",
+    "run_summary",
+    "flatten_run",
+    "series_from_record",
+]
+
+FORMAT = "repro-run-v1"
+
+#: Where the committed campaign lives, relative to the repo root.
+DEFAULT_LEDGER_DIR = "benchmarks/ledger"
+
+#: Fields excluded from the content hash: they vary between recordings
+#: of the *same* outcome (wall time, checkout) and must not move the ID.
+_VOLATILE_FIELDS = ("run_id", "created", "git_sha")
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: dict) -> str:
+    """Short hex hash identifying a run *configuration* (not its outcome)."""
+    return hashlib.sha256(canonical_json(config).encode()).hexdigest()[:10]
+
+
+def content_hash(record: dict) -> str:
+    """Hash of the record's non-volatile content (defines the run ID)."""
+    stripped = {k: v for k, v in record.items() if k not in _VOLATILE_FIELDS}
+    return hashlib.sha256(canonical_json(stripped).encode()).hexdigest()[:10]
+
+
+def config_slug(config: dict) -> str:
+    """Human-readable ID prefix from the config's identity fields."""
+    parts = [str(config.get(k)) for k in
+             ("experiment", "transport", "client", "rw", "bs")
+             if config.get(k) is not None]
+    if config.get("numjobs") is not None:
+        parts.append(f"j{config['numjobs']}")
+    if not parts:
+        parts = [str(config.get("kind", "run"))]
+    return "-".join(p.replace("/", "_").replace(" ", "_") for p in parts)
+
+
+def _finish_record(record: dict) -> dict:
+    record["run_id"] = f"{config_slug(record['config'])}-{content_hash(record)}"
+    return record
+
+
+def _pack_points(ts, cap: int) -> List[list]:
+    """Bound and round a cumulative-wait series for storage.
+
+    Pairwise-merges adjacent windows (keeping the later cumulative value,
+    which is exact for monotone counters) until at most ``cap`` points
+    remain, then rounds to picosecond-ish precision so the JSON stays
+    compact.  Deterministic, so records remain byte-stable.
+    """
+    pts = list(ts.points())
+    while len(pts) > cap:
+        merged = []
+        for i in range(0, len(pts) - 1, 2):
+            _, dt1, _ = pts[i]
+            t2, dt2, v2 = pts[i + 1]
+            merged.append((t2, dt1 + dt2, v2))
+        if len(pts) % 2:
+            merged.append(pts[-1])
+        pts = merged
+    return [[round(t, 12), round(dt, 12), round(v, 12)] for t, dt, v in pts]
+
+
+def make_run_record(
+    result,
+    collector,
+    tracer,
+    config: dict,
+    label: str = "",
+    kind: str = "doctor",
+    git_sha: Optional[str] = None,
+    created: Optional[str] = None,
+    include_series: bool = True,
+    series_points_cap: int = 96,
+) -> dict:
+    """Reduce an instrumented run into one ``repro-run-v1`` record.
+
+    ``result`` is the :class:`~repro.workload.fio.FioResult`;
+    ``collector``/``tracer`` are the span collector and wait tracer that
+    observed the run (both required — the ledger exists to feed delta
+    attribution, which needs blame and flame data).
+    """
+    from repro.sim.flame import fold_spans, fold_waits
+
+    roots = collector.roots()
+    total_root = sum(s.duration for s in roots)
+    record = {
+        "format": FORMAT,
+        "kind": kind,
+        "label": label,
+        "created": created,
+        "git_sha": git_sha,
+        "config": dict(config),
+        "config_hash": config_hash(config),
+        "metrics": flatten_numeric({"result": result.to_dict()}),
+        "traces": {
+            "count": len(roots),
+            "total_root_time": total_root,
+            "mean_latency": (total_root / len(roots)) if roots else 0.0,
+            "requests_seen": collector.requests_seen,
+            "sample_every": collector.sample_every,
+        },
+        "wait_aggregates": {name: agg.to_dict()
+                            for name, agg in sorted(tracer.aggregates.items())},
+        "blame": dict(sorted(tracer.blame_components().items())),
+        "flame": {
+            "spans": dict(sorted(fold_spans(collector.spans).items())),
+            "waits": dict(sorted(
+                fold_waits(collector.spans, tracer.records).items())),
+        },
+    }
+    if include_series:
+        record["wait_series"] = {
+            ts.name: {"unit": ts.unit, "kind": ts.kind,
+                      "points": _pack_points(ts, series_points_cap)}
+            for ts in tracer.wait_series()
+        }
+    return _finish_record(record)
+
+
+def make_perf_record(
+    doc: dict,
+    label: str = "",
+    git_sha: Optional[str] = None,
+    created: Optional[str] = None,
+) -> dict:
+    """A ledger record for a wall-clock perfbench document.
+
+    Perf records carry no spans or blame — they extend the same run
+    history with the machine-speed trajectory (``BENCH_perf.json``).
+    """
+    config = {"kind": "perfbench", "quick": bool(doc.get("quick", False))}
+    record = {
+        "format": FORMAT,
+        "kind": "perf",
+        "label": label or doc.get("label", "perfbench"),
+        "created": created,
+        "git_sha": git_sha,
+        "config": config,
+        "config_hash": config_hash(config),
+        "metrics": flatten_numeric(
+            {k: v for k, v in doc.items() if k not in ("format", "label")}),
+    }
+    return _finish_record(record)
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+def save_run(record: dict, ledger_dir: str = DEFAULT_LEDGER_DIR) -> str:
+    """Append the record to the ledger (one file per run ID)."""
+    if record.get("format") != FORMAT:
+        raise ValueError(f"not a {FORMAT} record")
+    os.makedirs(ledger_dir, exist_ok=True)
+    path = os.path.join(ledger_dir, f"{record['run_id']}.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _ledger_ids(ledger_dir: str) -> List[str]:
+    try:
+        names = os.listdir(ledger_dir)
+    except OSError:
+        return []
+    return sorted(n[:-5] for n in names if n.endswith(".json"))
+
+
+def resolve_ref(ref: str, ledger_dir: str = DEFAULT_LEDGER_DIR) -> str:
+    """Resolve a run reference to a file path.
+
+    ``ref`` may be a path to a record file, an exact run ID in
+    ``ledger_dir``, or a unique run-ID prefix (so CI can pin the stable
+    config slug while the content hash moves with the code).
+    """
+    if os.path.isfile(ref):
+        return ref
+    ids = _ledger_ids(ledger_dir)
+    if ref in ids:
+        return os.path.join(ledger_dir, f"{ref}.json")
+    matches = [i for i in ids if i.startswith(ref)]
+    if len(matches) == 1:
+        return os.path.join(ledger_dir, f"{matches[0]}.json")
+    if len(matches) > 1:
+        raise ValueError(
+            f"run ref {ref!r} is ambiguous in {ledger_dir}: "
+            + ", ".join(matches))
+    known = ", ".join(ids) if ids else "(ledger empty)"
+    raise ValueError(f"no run matching {ref!r} in {ledger_dir}; known: {known}")
+
+
+def load_run(ref: str, ledger_dir: str = DEFAULT_LEDGER_DIR) -> dict:
+    """Load a record by path, run ID, or unique ID prefix."""
+    path = resolve_ref(ref, ledger_dir)
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("format") != FORMAT:
+        raise ValueError(f"{path}: not a {FORMAT} record "
+                         f"(format={record.get('format')!r})")
+    return record
+
+
+def list_runs(ledger_dir: str = DEFAULT_LEDGER_DIR) -> List[dict]:
+    """All ledger records, sorted by run ID (stable listing order)."""
+    return [load_run(i, ledger_dir) for i in _ledger_ids(ledger_dir)]
+
+
+def run_summary(record: dict) -> dict:
+    """The one-line listing view of a record."""
+    metrics = record.get("metrics", {})
+    return {
+        "run_id": record["run_id"],
+        "kind": record.get("kind", "?"),
+        "label": record.get("label", ""),
+        "created": record.get("created"),
+        "git_sha": record.get("git_sha"),
+        "iops": metrics.get("result.iops"),
+        "p99": metrics.get("result.latency.p99"),
+    }
+
+
+def flatten_run(record: dict) -> Dict[str, float]:
+    """The record's numeric metric namespace (already flat on disk)."""
+    return {k: float(v) for k, v in record.get("metrics", {}).items()}
+
+
+def series_from_record(record: dict, node: Optional[str] = None) -> list:
+    """Reconstruct the stored wait series as live ``TimeSeries`` objects.
+
+    ``node`` overrides the owning node of every series — overlay callers
+    pass e.g. ``"A:tcp"`` so each run gets its own Perfetto process
+    track and the two runs' counters line up side by side.
+    """
+    from repro.sim.timeseries import GAUGE, TimeSeries
+
+    out = []
+    for name in sorted(record.get("wait_series", {})):
+        spec = record["wait_series"][name]
+        points = spec.get("points", [])
+        # Even capacity strictly above the point count, so appending the
+        # stored points never triggers a merge-down (lossless rebuild).
+        capacity = max(4, len(points) + 2 + (len(points) % 2))
+        ts = TimeSeries(name, capacity=capacity,
+                        unit=spec.get("unit", ""),
+                        kind=spec.get("kind", GAUGE), node=node)
+        for t, dt, v in points:
+            ts.append(t, dt, v)
+        out.append(ts)
+    return out

@@ -92,6 +92,17 @@ SEED_REFERENCE = {
     "events_per_uncontended_1mib_transfer": 17.0,  # 16 chunk serves + tail
 }
 
+#: Pointer into the run ledger: where the durable run history lives and
+#: which committed reference campaign ``compare-runs`` diffs against.
+#: Carried in every perfbench document so ``BENCH_perf.json`` records
+#: the trajectory even after regeneration.
+TRAJECTORY = {
+    "ledger_dir": "benchmarks/ledger",
+    "reference_campaign": "fig5-2026-08 (tcp/rdma x 4KiB/1MiB, dpu client)",
+    "compare": "python -m repro.bench.cli compare-runs "
+               "fig5-tcp-dpu-randread-4096 fig5-rdma-dpu-randread-4096",
+}
+
 
 def _min_wall(fn: Callable[[], object], repeat: int, warmup: int
               ) -> Tuple[float, object]:
@@ -284,6 +295,7 @@ def run_perfbench(quick: bool = False, repeat: int = 3, warmup: int = 1
         "pipe": pipe,
         "fig5": fig5,
         "seed_reference": SEED_REFERENCE,
+        "trajectory": TRAJECTORY,
     }
     doc["summary"] = _summarize(doc)
     return doc

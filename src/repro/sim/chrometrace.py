@@ -155,12 +155,17 @@ def build_chrome_trace(
     spans = [s for s in spans if s.t_end is not None]
     series = list(sampler.series.values()) if sampler is not None else []
     series.extend(extra_series)
+    # Counter tracks sort by (node, name), never by probe registration
+    # order — two runs exported separately must produce tracks in the
+    # same order for a side-by-side overlay to line up.
+    series.sort(key=lambda s: (s.node if s.node else CLUSTER, s.name))
     pids = _pid_map([s.node for s in spans] + [s.node for s in series])
     events: List[dict] = []
     events.extend(_process_metadata(pids))
     events.extend(span_events(spans, pids))
     events.extend(counter_events(series, pids))
-    events.sort(key=lambda e: (e.get("ts", -1.0), e.get("pid", 0)))
+    events.sort(key=lambda e: (e.get("ts", -1.0), e.get("pid", 0),
+                               e.get("name", "")))
     return {
         "displayTimeUnit": "ms",
         "otherData": {

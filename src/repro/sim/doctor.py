@@ -96,7 +96,7 @@ def parse_slo(text: str) -> SloRule:
         if unit:
             raise ValueError(f"unit {unit!r} is invalid for {metric} in {text!r}")
     else:
-        known = ", ".join(_LATENCY_METRICS + _THROUGHPUT_METRICS)
+        known = ", ".join(sorted(_LATENCY_METRICS + _THROUGHPUT_METRICS))
         raise ValueError(f"unknown SLO metric {metric!r} (known: {known})")
     return SloRule(metric=metric, op=op, threshold=value, raw=text.strip())
 

@@ -19,17 +19,24 @@ directly.  Two views are produced:
 Weights are rounded to integer nanoseconds (sub-nanosecond stacks drop
 out) and lines are emitted sorted, so output is byte-stable for identical
 runs — the property the golden-file test pins.
+
+For *comparing* two runs, :func:`diff_folded` produces Brendan Gregg's
+differential ("red/blue") folded format — ``stack before after`` per
+line, only for stacks whose weight changed — which ``difffolded.pl`` /
+``flamegraph.pl --negate`` render with growth in red and shrinkage in
+blue.  ``diff_folded(x, x)`` is empty by construction.
 """
 
 from __future__ import annotations
 
-from typing import IO, Dict, Iterable, List, Optional, Union
+from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.spans import Span
 from repro.sim.waits import WaitRecord
 
 __all__ = ["fold_spans", "fold_waits", "render_collapsed", "write_collapsed",
-           "top_frames"]
+           "top_frames", "diff_folded", "render_diff_collapsed",
+           "write_diff_collapsed", "diff_totals"]
 
 #: Seconds -> integer nanoseconds (collapsed-stack weights).
 NS = 1e9
@@ -123,6 +130,56 @@ def write_collapsed(path_or_file: Union[str, IO[str]],
     with open(path_or_file, "w") as fh:
         fh.write(text)
     return path_or_file
+
+
+def diff_folded(base: Dict[str, int],
+                cur: Dict[str, int]) -> Dict[str, Tuple[int, int]]:
+    """Differential fold: ``{stack: (base_ns, cur_ns)}`` for changed stacks.
+
+    Stacks present in only one run carry a zero on the other side; stacks
+    with identical weights drop out entirely, so the diff of a run with
+    itself is empty and the output size tracks how much actually moved.
+    """
+    diff: Dict[str, Tuple[int, int]] = {}
+    for stack in base.keys() | cur.keys():
+        a = base.get(stack, 0)
+        b = cur.get(stack, 0)
+        if a != b:
+            diff[stack] = (a, b)
+    return diff
+
+
+def render_diff_collapsed(diff: Dict[str, Tuple[int, int]]) -> str:
+    """Sorted ``stack before after`` lines (difffolded.pl's output format).
+
+    ``flamegraph.pl`` colours each frame by ``after - before`` when fed
+    two-count lines: red for growth, blue for shrinkage.
+    """
+    return "".join(f"{stack} {a} {b}\n"
+                   for stack, (a, b) in sorted(diff.items()))
+
+
+def write_diff_collapsed(path_or_file: Union[str, IO[str]],
+                         diff: Dict[str, Tuple[int, int]]) -> Optional[str]:
+    """Write a differential folded-stack file for flamegraph.pl --negate."""
+    text = render_diff_collapsed(diff)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+        return None
+    with open(path_or_file, "w") as fh:
+        fh.write(text)
+    return path_or_file
+
+
+def diff_totals(diff: Dict[str, Tuple[int, int]],
+                n: int = 10) -> List[tuple]:
+    """``(leaf_frame, delta_ns)`` largest absolute movers, for reports."""
+    totals: Dict[str, int] = {}
+    for stack, (a, b) in diff.items():
+        leaf = stack.rsplit(";", 1)[-1]
+        totals[leaf] = totals.get(leaf, 0) + (b - a)
+    rows = sorted(totals.items(), key=lambda kv: (-abs(kv[1]), kv[0]))
+    return rows[:n]
 
 
 def top_frames(folded: Dict[str, int], n: int = 10) -> List[tuple]:

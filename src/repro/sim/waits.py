@@ -344,6 +344,28 @@ class WaitTracer:
             out[r.resource] = out.get(r.resource, 0.0) + r.total
         return out
 
+    def blame_components(self) -> Dict[str, Dict[str, float]]:
+        """Resource -> ``{wait, service, latency, total}`` over sampled spans.
+
+        Same record set as :meth:`blame` (occupancy records only), but the
+        per-event split is preserved so a differential doctor can say
+        whether a regression is *queueing* (wait grew) or *service*
+        (the resource itself got slower).
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for r in self.records:
+            if r.kind == BLOCK:
+                continue
+            d = out.get(r.resource)
+            if d is None:
+                d = out[r.resource] = {"wait": 0.0, "service": 0.0,
+                                       "latency": 0.0, "total": 0.0}
+            d["wait"] += r.wait
+            d["service"] += r.service
+            d["latency"] += r.latency
+            d["total"] += r.total
+        return out
+
     def blocked_on(self) -> Dict[str, float]:
         """Resource -> seconds sampled spans spent parked on it."""
         out: Dict[str, float] = {}

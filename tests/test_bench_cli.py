@@ -1,8 +1,27 @@
 """Unit tests for the bench CLI."""
 
+import json
+import os
+
 import pytest
 
 from repro.bench.cli import build_parser, main, parse_size
+
+LEDGER_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "benchmarks", "ledger")
+TCP_4K = "fig5-tcp-dpu-randread-4096"
+RDMA_4K = "fig5-rdma-dpu-randread-4096"
+
+
+@pytest.fixture
+def no_sim(monkeypatch):
+    """Fail the test if a fast-path error still burns a simulation run."""
+    import repro.bench.runner as runner
+
+    def boom(*a, **kw):
+        raise AssertionError("simulation ran despite fail-fast error")
+
+    monkeypatch.setattr(runner, "run_fig5_doctored", boom)
 
 
 def test_parse_size_suffixes():
@@ -57,3 +76,87 @@ def test_invalid_choices_rejected():
         build_parser().parse_args(["fig3", "--rw", "trim"])
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fig5", "--ssds", "9"])
+
+
+class TestDoctorFailFast:
+    """Bad arguments must exit 2 *before* the simulation runs."""
+
+    def test_unknown_slo_metric_lists_known_names(self, no_sim, capsys):
+        assert main(["doctor", "--quick", "--slo", "p42<=1ms"]) == 2
+        err = capsys.readouterr().err
+        assert "p42" in err
+        # The error teaches the vocabulary, not just rejects.
+        for known in ("p50", "p99", "iops", "mean"):
+            assert known in err
+
+    def test_malformed_slo_rule(self, no_sim, capsys):
+        assert main(["doctor", "--quick", "--slo", "lots of latency"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_against_ref(self, no_sim, capsys):
+        assert main(["doctor", "--quick", "--against", "no-such-run",
+                     "--ledger-dir", LEDGER_DIR]) == 2
+        err = capsys.readouterr().err
+        assert "no run matching" in err and TCP_4K in err
+
+    def test_diff_flags_require_against(self, no_sim, capsys):
+        assert main(["doctor", "--quick",
+                     "--diff-flame", "/tmp/nope.txt"]) == 2
+        assert "--diff-flame requires --against" in capsys.readouterr().err
+
+    def test_fig5_ledger_rejects_perfetto_combo(self, capsys, tmp_path):
+        assert main(["fig5", "--ledger",
+                     "--ledger-dir", str(tmp_path),
+                     "--perfetto", str(tmp_path / "t.json")]) == 2
+        assert "doctor --ledger" in capsys.readouterr().err
+
+
+class TestRunsSubcommand:
+    def test_listing_shows_committed_campaign(self, capsys):
+        assert main(["runs", "--ledger-dir", LEDGER_DIR]) == 0
+        out = capsys.readouterr().out
+        assert TCP_4K in out and RDMA_4K in out
+
+    def test_detail_view_by_prefix(self, capsys):
+        assert main(["runs", TCP_4K, "--ledger-dir", LEDGER_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "dpu.arm_rx" in out and "iops:" in out
+
+    def test_json_listing_parses(self, capsys):
+        assert main(["runs", "--ledger-dir", LEDGER_DIR, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["kind"] for r in rows} == {"doctor"}
+        assert all(r["iops"] > 0 for r in rows)
+
+    def test_bad_ref_exits_2(self, capsys):
+        assert main(["runs", "bogus", "--ledger-dir", LEDGER_DIR]) == 2
+        assert "no run matching" in capsys.readouterr().err
+
+
+class TestCompareRunsSubcommand:
+    def test_tcp_vs_rdma_verdict(self, capsys):
+        assert main(["compare-runs", TCP_4K, RDMA_4K,
+                     "--ledger-dir", LEDGER_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "rdma vs tcp" in out
+        assert "dpu.arm_rx" in out
+        assert "attribution check ok" in out
+
+    def test_writes_diff_artefacts(self, capsys, tmp_path):
+        diff_json = tmp_path / "diff.json"
+        flame = tmp_path / "flame.txt"
+        assert main(["compare-runs", TCP_4K, RDMA_4K,
+                     "--ledger-dir", LEDGER_DIR,
+                     "--json-out", str(diff_json),
+                     "--diff-wait-flame", str(flame)]) == 0
+        doc = json.loads(diff_json.read_text())
+        assert doc["format"] == "repro-diff-v1"
+        assert doc["ok"] is True
+        assert doc["contributors"][0]["resource"] == "dpu.arm_rx"
+        lines = flame.read_text().splitlines()
+        assert lines and all(len(ln.rsplit(" ", 2)) == 3 for ln in lines)
+
+    def test_bad_ref_exits_2(self, capsys):
+        assert main(["compare-runs", TCP_4K, "bogus",
+                     "--ledger-dir", LEDGER_DIR]) == 2
+        assert "no run matching" in capsys.readouterr().err

@@ -1,0 +1,202 @@
+"""Unit tests for the run ledger (repro.bench.ledger)."""
+
+import copy
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import ledger as lg
+from repro.bench.runner import run_fig5_doctored
+
+LEDGER_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "benchmarks", "ledger")
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    """The same deterministic miniature Fig. 5 cell the flame golden uses."""
+    return run_fig5_doctored("tcp", "dpu", "randread", 4096, 2,
+                             runtime=0.004, sample_every=4,
+                             observe_sampler=False)
+
+
+@pytest.fixture(scope="module")
+def tiny_config(tiny_run):
+    return {"experiment": "fig5", "transport": "tcp", "client": "dpu",
+            "rw": "randread", "bs": 4096, "numjobs": 2,
+            "runtime": 0.004, "sample_every": 4}
+
+
+@pytest.fixture(scope="module")
+def tiny_record(tiny_run, tiny_config):
+    return lg.make_run_record(tiny_run.result, tiny_run.collector,
+                              tiny_run.tracer, config=tiny_config,
+                              label="tiny", git_sha="abc1234",
+                              created="2026-08-07T00:00:00Z")
+
+
+class TestRecordShape:
+    def test_format_and_sections(self, tiny_record):
+        r = tiny_record
+        assert r["format"] == lg.FORMAT == "repro-run-v1"
+        for key in ("config", "config_hash", "metrics", "traces",
+                    "wait_aggregates", "blame", "flame", "wait_series"):
+            assert key in r, key
+        assert r["traces"]["count"] > 0
+        assert r["traces"]["mean_latency"] > 0
+        assert r["metrics"]["result.iops"] > 0
+        assert set(r["flame"]) == {"spans", "waits"}
+
+    def test_run_id_is_slug_plus_content_hash(self, tiny_record):
+        slug = lg.config_slug(tiny_record["config"])
+        assert slug == "fig5-tcp-dpu-randread-4096-j2"
+        assert tiny_record["run_id"] == f"{slug}-{lg.content_hash(tiny_record)}"
+
+    def test_blame_components_match_tracer(self, tiny_run, tiny_record):
+        live = tiny_run.tracer.blame_components()
+        assert set(tiny_record["blame"]) == set(live)
+        # The tcp/dpu cell blames the Arm RX path.
+        assert "dpu.arm_rx" in tiny_record["blame"]
+
+    def test_json_serialisable_and_canonical(self, tiny_record):
+        again = json.loads(json.dumps(tiny_record))
+        assert again == tiny_record
+        assert lg.canonical_json(again) == lg.canonical_json(tiny_record)
+
+
+class TestRunIdStability:
+    def test_volatile_fields_do_not_move_the_id(self, tiny_run, tiny_config):
+        a = lg.make_run_record(tiny_run.result, tiny_run.collector,
+                               tiny_run.tracer, config=tiny_config,
+                               git_sha="abc1234",
+                               created="2026-08-07T00:00:00Z")
+        b = lg.make_run_record(tiny_run.result, tiny_run.collector,
+                               tiny_run.tracer, config=tiny_config,
+                               git_sha="fffffff",
+                               created="2031-01-01T12:34:56Z")
+        assert a["run_id"] == b["run_id"]
+
+    def test_content_change_moves_the_id(self, tiny_record):
+        tweaked = copy.deepcopy(tiny_record)
+        tweaked["metrics"]["result.iops"] += 1.0
+        assert lg.content_hash(tweaked) != lg.content_hash(tiny_record)
+
+    def test_config_change_moves_slug_and_hash(self, tiny_record):
+        other = dict(tiny_record["config"], transport="rdma")
+        assert lg.config_slug(other) != lg.config_slug(tiny_record["config"])
+        assert lg.config_hash(other) != lg.config_hash(tiny_record["config"])
+
+
+class TestStorage:
+    def test_save_load_round_trip_lossless(self, tiny_record, tmp_path):
+        path = lg.save_run(tiny_record, str(tmp_path))
+        assert path.endswith(f"{tiny_record['run_id']}.json")
+        assert lg.load_run(tiny_record["run_id"], str(tmp_path)) == tiny_record
+        # By path too, bypassing the ledger dir.
+        assert lg.load_run(path, "/nonexistent") == tiny_record
+
+    def test_save_rejects_foreign_documents(self, tmp_path):
+        with pytest.raises(ValueError, match="repro-run-v1"):
+            lg.save_run({"format": "something-else"}, str(tmp_path))
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"format": "not-a-run"}')
+        with pytest.raises(ValueError, match="not a repro-run-v1"):
+            lg.load_run(str(p), str(tmp_path))
+
+    def test_resolve_prefix_and_errors(self, tiny_record, tmp_path):
+        lg.save_run(tiny_record, str(tmp_path))
+        rid = tiny_record["run_id"]
+        assert lg.resolve_ref(rid, str(tmp_path)).endswith(f"{rid}.json")
+        assert lg.resolve_ref(rid[:12], str(tmp_path)).endswith(f"{rid}.json")
+        with pytest.raises(ValueError, match="no run matching"):
+            lg.resolve_ref("nope", str(tmp_path))
+        # A second record sharing the prefix makes it ambiguous.
+        other = copy.deepcopy(tiny_record)
+        other["metrics"]["result.iops"] += 1.0
+        other = lg._finish_record(other)
+        lg.save_run(other, str(tmp_path))
+        with pytest.raises(ValueError, match="ambiguous"):
+            lg.resolve_ref("fig5-tcp", str(tmp_path))
+
+    def test_list_runs_sorted_and_summary(self, tiny_record, tmp_path):
+        lg.save_run(tiny_record, str(tmp_path))
+        records = lg.list_runs(str(tmp_path))
+        assert [r["run_id"] for r in records] == \
+            sorted(r["run_id"] for r in records)
+        s = lg.run_summary(records[0])
+        assert s["run_id"] == records[0]["run_id"]
+        assert s["iops"] == records[0]["metrics"]["result.iops"]
+        assert s["p99"] == records[0]["metrics"]["result.latency.p99"]
+
+    def test_flatten_run_is_numeric(self, tiny_record):
+        flat = lg.flatten_run(tiny_record)
+        assert flat and all(isinstance(v, float) for v in flat.values())
+
+
+class TestSeries:
+    def test_pack_points_preserves_final_value_and_span(self, tiny_run):
+        for ts in tiny_run.tracer.wait_series():
+            pts = list(ts.points())
+            if len(pts) < 2:
+                continue
+            packed = lg._pack_points(ts, cap=8)
+            assert len(packed) <= 8
+            assert packed[-1][0] == pytest.approx(pts[-1][0])
+            assert packed[-1][2] == pytest.approx(pts[-1][2])
+            assert sum(p[1] for p in packed) == pytest.approx(
+                sum(p[1] for p in pts))
+
+    def test_series_from_record_round_trips(self, tiny_record):
+        rebuilt = lg.series_from_record(tiny_record, node="A:tcp")
+        assert rebuilt
+        for ts in rebuilt:
+            stored = tiny_record["wait_series"][ts.name]["points"]
+            assert len(ts) == len(stored)
+            assert ts.node == "A:tcp"
+            last = list(ts.points())[-1]
+            assert last[2] == pytest.approx(stored[-1][2])
+
+    def test_include_series_false_drops_section(self, tiny_run, tiny_config):
+        r = lg.make_run_record(tiny_run.result, tiny_run.collector,
+                               tiny_run.tracer, config=tiny_config,
+                               include_series=False)
+        assert "wait_series" not in r
+        assert lg.series_from_record(r) == []
+
+
+class TestCommittedCampaign:
+    """The committed benchmarks/ledger campaign stays loadable and coherent."""
+
+    def test_four_fig5_cells_present(self):
+        records = lg.list_runs(LEDGER_DIR)
+        cells = {(r["config"]["transport"], r["config"]["bs"])
+                 for r in records if r["config"].get("experiment") == "fig5"}
+        assert {("tcp", 4096), ("rdma", 4096),
+                ("tcp", 1024**2), ("rdma", 1024**2)} <= cells
+
+    def test_records_verify_against_their_own_content(self):
+        for r in lg.list_runs(LEDGER_DIR):
+            assert r["run_id"].endswith(lg.content_hash(r)), r["run_id"]
+
+
+@given(config=st.dictionaries(
+    st.sampled_from(["experiment", "transport", "client", "rw", "bs",
+                     "numjobs", "runtime", "quick"]),
+    st.one_of(st.integers(-10**6, 10**6), st.text(max_size=12),
+              st.booleans(), st.floats(allow_nan=False,
+                                       allow_infinity=False, width=32)),
+))
+@settings(max_examples=50, deadline=None)
+def test_config_hash_deterministic_and_order_free(config):
+    """Property: hashing is stable and insensitive to key order."""
+    reordered = dict(reversed(list(config.items())))
+    assert lg.config_hash(config) == lg.config_hash(reordered)
+    assert lg.config_slug(config) == lg.config_slug(reordered)
+    # Round-tripping through JSON never moves the hash.
+    again = json.loads(json.dumps(config))
+    assert lg.config_hash(again) == lg.config_hash(config)

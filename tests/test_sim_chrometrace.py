@@ -158,6 +158,26 @@ def test_golden_file(monkeypatch):
         "tests/data/chrometrace_golden.json")
 
 
+def test_counter_track_order_is_insertion_independent(monkeypatch):
+    """Counter tracks sort by (node, name): shuffled inputs, same bytes."""
+    from repro.sim.timeseries import GAUGE, TimeSeries
+
+    def series(name, node):
+        ts = TimeSeries(name, capacity=4, unit="ops", kind=GAUGE, node=node)
+        ts.append(0.001, 0.001, 1.0)
+        return ts
+
+    tracks = [series("b.q", "dpu"), series("a.q", "dpu"),
+              series("z.q", "host"), series("a.q", "storage")]
+    fwd = build_chrome_trace((), None, extra_series=tracks)
+    rev = build_chrome_trace((), None, extra_series=list(reversed(tracks)))
+    assert json.dumps(fwd, sort_keys=True) == json.dumps(rev, sort_keys=True)
+    # pid metadata is emitted in sorted (node, name) track order.
+    names = [e["args"]["name"] for e in fwd["traceEvents"]
+             if e.get("name") == "process_name"]
+    assert names == sorted(names)
+
+
 @pytest.mark.parametrize("pieces", ["spans", "sampler"])
 def test_partial_documents_validate(monkeypatch, pieces):
     _, collector, sampler = tiny_run(monkeypatch)

@@ -1,0 +1,223 @@
+"""Unit tests for the differential doctor (repro.sim.diffdoctor)."""
+
+import copy
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import ledger as lg
+from repro.bench.runner import run_fig5_doctored
+from repro.sim.diffdoctor import (
+    UNATTRIBUTED,
+    DiffDiagnosis,
+    diff_flames,
+    diff_runs,
+    write_overlay_trace,
+)
+
+
+def record_for(transport):
+    """The quick 4 KiB Fig. 5 cell — the one the committed campaign pins."""
+    run = run_fig5_doctored(transport, "dpu", "randread", 4096, 16,
+                            runtime=0.02, sample_every=20,
+                            observe_sampler=False)
+    config = {"experiment": "fig5", "transport": transport, "client": "dpu",
+              "rw": "randread", "bs": 4096, "numjobs": 16,
+              "runtime": 0.02, "sample_every": 20}
+    return lg.make_run_record(run.result, run.collector, run.tracer,
+                              config=config, label=f"tiny {transport}")
+
+
+@pytest.fixture(scope="module")
+def tcp_record():
+    return record_for("tcp")
+
+
+@pytest.fixture(scope="module")
+def rdma_record():
+    return record_for("rdma")
+
+
+class TestIdentityDiff:
+    def test_diff_with_itself_is_null(self, tcp_record):
+        dd = diff_runs(tcp_record, tcp_record)
+        assert dd.ok and dd.exit_code == 0
+        att = dd.checks["attribution"]
+        assert att["observed_delta"] == 0.0
+        assert att["sum_attributed"] == pytest.approx(0.0, abs=1e-15)
+        assert all(r["delta"] == pytest.approx(0.0, abs=1e-15)
+                   for r in dd.contributors)
+        assert "equivalent" in dd.verdict
+        assert dd.config_delta == {}
+
+    def test_diff_flames_with_itself_empty(self, tcp_record):
+        flames = diff_flames(tcp_record, tcp_record)
+        assert flames == {"spans": {}, "waits": {}}
+
+
+class TestTcpVsRdma:
+    def test_deltas_sum_to_observed(self, tcp_record, rdma_record):
+        dd = diff_runs(tcp_record, rdma_record)
+        att = dd.checks["attribution"]
+        assert dd.ok
+        assert att["sum_attributed"] == pytest.approx(
+            att["observed_delta"], rel=1e-9)
+        assert att["rel_err"] <= att["tolerance"]
+
+    def test_arm_rx_wait_is_top_contributor(self, tcp_record, rdma_record):
+        """The paper's claim in delta form: RDMA wins by skipping Arm RX."""
+        dd = diff_runs(tcp_record, rdma_record)
+        top = dd.top_contributor
+        assert top["resource"] == "dpu.arm_rx"
+        assert top["delta"] < 0  # tcp -> rdma removes that time
+        assert abs(top["delta_wait"]) >= abs(top["delta_service"])
+        assert "dpu.arm_rx" in dd.verdict and "(wait)" in dd.verdict
+
+    def test_contributors_ranked_by_abs_delta_then_name(
+            self, tcp_record, rdma_record):
+        rows = diff_runs(tcp_record, rdma_record).contributors
+        keys = [(-abs(r["delta"]), r["resource"]) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_direction_flips_with_argument_order(
+            self, tcp_record, rdma_record):
+        fwd = diff_runs(tcp_record, rdma_record)
+        rev = diff_runs(rdma_record, tcp_record)
+        assert fwd.observed["latency"]["delta"] == pytest.approx(
+            -rev.observed["latency"]["delta"])
+        assert fwd.top_contributor["delta"] == pytest.approx(
+            -rev.top_contributor["delta"])
+
+    def test_config_delta_and_observed_metrics(self, tcp_record, rdma_record):
+        dd = diff_runs(tcp_record, rdma_record)
+        assert dd.config_delta["transport"] == ["tcp", "rdma"]
+        assert dd.observed["iops"]["delta"] > 0  # rdma is faster
+        assert dd.observed["p99"]["delta"] < 0
+
+    def test_document_shape_and_render(self, tcp_record, rdma_record):
+        dd = diff_runs(tcp_record, rdma_record)
+        doc = json.loads(json.dumps(dd.to_dict()))
+        assert doc["format"] == "repro-diff-v1"
+        for key in ("label", "verdict", "ok", "base", "current",
+                    "config_delta", "observed", "contributors", "checks",
+                    "notes"):
+            assert key in doc, key
+        text = dd.render()
+        assert "Attributed latency delta" in text
+        assert "attribution check ok" in text
+
+
+class TestChecksAndNotes:
+    def test_tampered_mean_fails_attribution_check(
+            self, tcp_record, rdma_record):
+        """The identity check is a real gate: break it, and ok flips."""
+        broken = copy.deepcopy(rdma_record)
+        broken["traces"]["mean_latency"] *= 3.0
+        dd = diff_runs(tcp_record, broken)
+        assert not dd.ok and dd.exit_code == 1
+        assert dd.verdict.endswith("[attribution check FAILED]")
+
+    def test_tolerance_is_configurable(self, tcp_record, rdma_record):
+        broken = copy.deepcopy(rdma_record)
+        broken["traces"]["mean_latency"] *= 1.5
+        strict = diff_runs(tcp_record, broken, tolerance=0.01)
+        lax = diff_runs(tcp_record, broken, tolerance=10.0)
+        assert not strict.ok and lax.ok
+
+    def test_sample_rate_mismatch_noted(self, tcp_record, rdma_record):
+        other = copy.deepcopy(rdma_record)
+        other["traces"]["sample_every"] = 99
+        dd = diff_runs(tcp_record, other)
+        assert any("sampling rates" in n for n in dd.notes)
+
+    def test_blame_free_records_attribute_to_unattributed(self):
+        def bare(mean):
+            return {"run_id": "x", "config": {},
+                    "traces": {"count": 10, "mean_latency": mean},
+                    "metrics": {}, "blame": {}}
+        dd = diff_runs(bare(2e-3), bare(1e-3))
+        assert any("neither run carries blame" in n for n in dd.notes)
+        [row] = dd.contributors
+        assert row["resource"] == UNATTRIBUTED
+        assert row["delta"] == pytest.approx(-1e-3)
+        assert dd.ok
+
+
+class TestDiffFlamesAndOverlay:
+    def test_tcp_vs_rdma_moves_arm_rx_stacks(self, tcp_record, rdma_record):
+        flames = diff_flames(tcp_record, rdma_record)
+        assert flames["spans"] and flames["waits"]
+        arm = [s for s in flames["waits"] if "wait:dpu.arm_rx" in s]
+        assert arm
+        for stack in arm:
+            a, b = flames["waits"][stack]
+            assert a > 0 and b == 0  # present under tcp, gone under rdma
+
+    def test_overlay_trace_is_valid_and_prefixed(
+            self, tcp_record, rdma_record, tmp_path):
+        from repro.sim.chrometrace import validate_chrome_trace
+
+        out = tmp_path / "overlay.json"
+        doc = write_overlay_trace(str(out), tcp_record, rdma_record)
+        assert validate_chrome_trace(doc) == []
+        on_disk = json.loads(out.read_text())
+        assert on_disk["otherData"]["n_counter_tracks"] > 0
+        pids = {e["args"]["name"]
+                for e in on_disk["traceEvents"]
+                if e.get("ph") == "M" and e.get("name") == "process_name"}
+        assert any(p.startswith("A:tcp") for p in pids)
+        assert any(p.startswith("B:rdma") for p in pids)
+
+
+# ---------------------------------------------------------------------------
+# Property: the attribution identity holds on randomized synthetic workloads
+# ---------------------------------------------------------------------------
+
+times = st.floats(min_value=0.0, max_value=10.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+def synthetic_record(draw, tag):
+    n = draw(st.integers(min_value=1, max_value=64))
+    resources = draw(st.lists(
+        st.sampled_from(["dpu.arm_rx", "nvme0", "net.link", "host.cpu",
+                         "dpu.dma", "storage.tcp_stack"]),
+        unique=True, max_size=6))
+    blame = {}
+    total = 0.0
+    for name in resources:
+        wait = draw(times)
+        service = draw(times)
+        latency = draw(times)
+        blame[name] = {"wait": wait, "service": service,
+                       "latency": latency, "total": wait + service + latency}
+        total += blame[name]["total"]
+    mean = draw(times)
+    return {
+        "run_id": tag, "config": {"transport": tag},
+        "traces": {"count": n, "mean_latency": mean, "sample_every": 1},
+        "metrics": {}, "blame": blame,
+    }
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_attribution_identity_on_random_workloads(data):
+    base = synthetic_record(data.draw, "a")
+    cur = synthetic_record(data.draw, "b")
+    dd = diff_runs(base, cur)
+    att = dd.checks["attribution"]
+    # Exact by construction: the unattributed row absorbs the remainder.
+    assert att["sum_attributed"] == pytest.approx(
+        att["observed_delta"], rel=1e-9, abs=1e-9)
+    assert dd.ok
+    # Per-row split is internally consistent, except the unattributed row
+    # which by definition carries no wait/service split of its own.
+    for row in dd.contributors:
+        if row["resource"] == UNATTRIBUTED:
+            continue
+        assert row["delta"] == pytest.approx(
+            row["delta_wait"] + row["delta_service"], rel=1e-9, abs=1e-9)
+    assert isinstance(dd, DiffDiagnosis)

@@ -45,6 +45,16 @@ class TestParseSlo:
         with pytest.raises(ValueError):
             parse_slo("iops>=100ms")  # unit on a throughput metric
 
+    def test_unknown_metric_error_lists_known_names(self):
+        with pytest.raises(ValueError, match="unknown SLO metric"):
+            parse_slo("p42<=1ms")
+        try:
+            parse_slo("p42<=1ms")
+        except ValueError as exc:
+            for name in ("p50", "p95", "p99", "p999", "mean", "max",
+                         "iops", "kiops", "bandwidth", "bandwidth_gib"):
+                assert name in str(exc)
+
 
 # ---------------------------------------------------------------------------
 # Blame ranking

@@ -7,11 +7,15 @@ import pytest
 
 from repro.sim import Environment, SpanCollector, WaitTracer
 from repro.sim.flame import (
+    diff_folded,
+    diff_totals,
     fold_spans,
     fold_waits,
     render_collapsed,
+    render_diff_collapsed,
     top_frames,
     write_collapsed,
+    write_diff_collapsed,
 )
 from repro.sim.queues import FifoServer
 
@@ -158,6 +162,52 @@ class TestGoldenFig5:
         # The wait-weighted flame blames the Arm RX path on this cell.
         waits = fold_waits(run.collector.spans, run.tracer.records)
         assert any("wait:dpu.arm_rx" in k for k in waits)
+
+
+class TestDiffFolded:
+    def test_diff_with_itself_is_empty(self):
+        folded = {"a;b": 10, "a;c": 20}
+        assert diff_folded(folded, folded) == {}
+
+    def test_one_sided_stacks_zero_filled(self):
+        diff = diff_folded({"gone": 5, "same": 7}, {"new": 3, "same": 7})
+        assert diff == {"gone": (5, 0), "new": (0, 3)}
+
+    def test_changed_weights_keep_both_sides(self):
+        assert diff_folded({"a": 5}, {"a": 9}) == {"a": (5, 9)}
+
+    def test_diff_of_real_runs_is_antisymmetric(self):
+        env1, env2 = Environment(), Environment()
+        f1 = fold_spans(make_tree(env1).spans)
+        col2 = SpanCollector(env2)
+        tr = col2.trace("root")
+        a = tr.root.child("a")
+        advance(env2, 2e-3)  # 'a' runs 1 ms longer than in make_tree
+        a.finish()
+        tr.finish()
+        f2 = fold_spans(col2.spans)
+        fwd = diff_folded(f1, f2)
+        rev = diff_folded(f2, f1)
+        assert set(fwd) == set(rev)
+        for stack, (x, y) in fwd.items():
+            assert rev[stack] == (y, x)
+
+    def test_render_is_sorted_two_count_lines(self):
+        text = render_diff_collapsed({"b;x": (2, 4), "a": (1, 0)})
+        assert text == "a 1 0\nb;x 2 4\n"
+
+    def test_write_to_path_and_file_object(self, tmp_path):
+        diff = {"a;b": (10, 3)}
+        p = tmp_path / "d.txt"
+        assert write_diff_collapsed(str(p), diff) == str(p)
+        assert p.read_text() == "a;b 10 3\n"
+        buf = io.StringIO()
+        assert write_diff_collapsed(buf, diff) is None
+        assert buf.getvalue() == "a;b 10 3\n"
+
+    def test_diff_totals_ranks_leaf_movers(self):
+        diff = {"a;x": (10, 0), "b;x": (5, 0), "a;y": (0, 12)}
+        assert diff_totals(diff, n=2) == [("x", -15), ("y", 12)]
 
 
 class TestChromeTraceCounterTracks:
