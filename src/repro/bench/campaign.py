@@ -1,0 +1,689 @@
+"""The campaign executor: declarative sweeps, worker pools, run caching.
+
+The paper's evaluation is a *grid* — provider × block size × numjobs ×
+client placement × rw — and re-simulating every cell serially on every
+invocation wastes exactly the resource the ROADMAP says to spend well.
+This module turns a sweep into a first-class artefact:
+
+* A **campaign spec** (``repro-campaign-v1`` JSON) names the grid
+  declaratively: per-cell ``defaults``, cartesian ``grid`` axes (an axis
+  value may be a scalar or a dict of correlated knobs, e.g. ``{"bs":
+  4096, "numjobs": 16}``), plus explicit ``cells``.  :func:`expand_spec`
+  expands it into normalized cell configs — the same dicts the run
+  ledger hashes, so a campaign cell and a hand-run ``doctor --ledger``
+  cell share one identity.
+
+* The **executor** (:func:`run_campaign`) runs cells on a
+  ``multiprocessing`` worker pool (``jobs=1`` stays in-process) and
+  merges results deterministically: outcomes are sorted by cell key
+  before anything is written, every volatile stamp (``created``,
+  ``git_sha``, ``code_fingerprint``) is computed once in the parent, and
+  per-cell wall-clock lives only in the campaign document — so a
+  ``--jobs 8`` campaign writes ledger records *byte-identical* to a
+  serial one.  A worker whose simulation raises produces a per-cell
+  error entry; sibling cells complete normally.
+
+* The **cache**: a cell is skipped when a ledger record with the same
+  ``config_hash`` *and* the same :func:`code_fingerprint` (hash of the
+  ``src/repro`` tree + package version, stamped on every record) already
+  exists.  Incremental invocations therefore only re-simulate cells
+  whose config or code changed; ``cache=False`` / ``force=True``
+  override.
+
+Determinism contract (see DESIGN §12): cell outcomes may depend only on
+the cell config — per-cell RNG is seeded from the spec (or derived from
+the cell key with ``"seed": "auto"``), never from worker identity,
+completion order, or wall time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench import ledger as lg
+from repro.hw.specs import MIB
+
+__all__ = [
+    "FORMAT",
+    "code_fingerprint",
+    "expand_spec",
+    "normalize_cell",
+    "cell_key",
+    "cell_label",
+    "load_spec",
+    "execute_cell",
+    "find_cached",
+    "run_campaign",
+    "check_campaign",
+    "parse_cell_ref",
+    "resolve_run_or_cell",
+    "render_campaign",
+]
+
+FORMAT = "repro-campaign-v1"
+
+_EXPERIMENTS = ("fig3", "fig4", "fig5")
+
+
+# ---------------------------------------------------------------------------
+# Code fingerprint — the cache's second key
+# ---------------------------------------------------------------------------
+
+def code_fingerprint(root: Optional[str] = None) -> str:
+    """Hash of the ``src/repro`` tree plus the package version.
+
+    The content-addressed cache keys on ``(config_hash, code_fingerprint)``:
+    a record produced by *different code* never satisfies a cache lookup,
+    so touching any ``repro`` source file invalidates every cached cell.
+    The fingerprint is stamped on records as a **volatile** field — it
+    must not move run IDs, or every comment edit would orphan the stable
+    ID prefixes CI pins.
+    """
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    entries: List[Tuple[str, str]] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as fh:
+                digest = hashlib.sha256(fh.read()).hexdigest()
+            entries.append((os.path.relpath(path, root), digest))
+    try:
+        from importlib.metadata import version
+
+        pkg_version = version("repro")
+    except Exception:
+        pkg_version = "0"
+    blob = lg.canonical_json({"version": pkg_version, "files": entries})
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Spec expansion and cell normalization
+# ---------------------------------------------------------------------------
+
+def load_spec(path: str) -> dict:
+    """Load and sanity-check a ``repro-campaign-v1`` spec file."""
+    with open(path) as fh:
+        spec = json.load(fh)
+    if spec.get("format") != FORMAT:
+        raise ValueError(f"{path}: not a {FORMAT} spec "
+                         f"(format={spec.get('format')!r})")
+    return spec
+
+
+def _parse_size(value) -> int:
+    """Accept ``4096`` or ``"4k"``-style sizes in specs."""
+    if isinstance(value, str):
+        from repro.bench.cli import parse_size
+
+        return parse_size(value)
+    return int(value)
+
+
+def expand_spec(spec: dict) -> List[dict]:
+    """Expand a campaign spec into normalized cell configs.
+
+    ``grid`` axes combine as a cartesian product in sorted-axis-name
+    order; each axis value may be a scalar (assigned to the axis name)
+    or a dict of correlated knobs merged wholesale.  Explicit ``cells``
+    entries are appended after the grid.  Expansion order — and hence
+    the campaign's cell list — depends only on the spec content, never
+    on dict insertion order.
+    """
+    defaults = dict(spec.get("defaults", {}))
+    raw_cells: List[dict] = []
+    grid = spec.get("grid", {})
+    if grid:
+        axes = sorted(grid)
+        for combo in itertools.product(*(grid[a] for a in axes)):
+            cell = dict(defaults)
+            for axis, value in zip(axes, combo):
+                if isinstance(value, dict):
+                    cell.update(value)
+                else:
+                    cell[axis] = value
+            raw_cells.append(cell)
+    for cell in spec.get("cells", []):
+        merged = dict(defaults)
+        merged.update(cell)
+        raw_cells.append(merged)
+    configs = [normalize_cell(c) for c in raw_cells]
+    seen: Dict[str, dict] = {}
+    for cfg in configs:
+        key = cell_key(cfg)
+        if key in seen and seen[key] != cfg:  # pragma: no cover - paranoia
+            raise ValueError(f"cell key collision: {key}")
+        if key in seen:
+            raise ValueError(f"duplicate cell in campaign: {key}")
+        seen[key] = cfg
+    return configs
+
+
+def normalize_cell(cell: dict) -> dict:
+    """Fill experiment defaults; return the cell's ledger config identity.
+
+    The fig5 shape reproduces exactly what ``doctor --ledger`` records,
+    so a campaign cell and a hand-recorded run share one ``config_hash``
+    (and therefore one cache slot).
+    """
+    experiment = cell.get("experiment", "fig5")
+    if experiment not in _EXPERIMENTS:
+        raise ValueError(f"unknown experiment {experiment!r}; "
+                         f"expected one of {_EXPERIMENTS}")
+    from repro.bench.runner import default_iodepth
+
+    bs = _parse_size(cell.get("bs", 4096 if experiment != "fig3" else MIB))
+    config: dict
+    if experiment == "fig5":
+        quick = bool(cell.get("quick", True))
+        numjobs = cell.get("numjobs")
+        if numjobs is None:
+            numjobs = 8 if bs >= MIB else 16
+        runtime = cell.get("runtime")
+        if runtime is None:
+            runtime = 0.02 if quick else (0.15 if bs >= MIB else 0.03)
+        config = {
+            "experiment": "fig5",
+            "transport": cell.get("transport", "tcp"),
+            "client": cell.get("client", "dpu"),
+            "rw": cell.get("rw", "randread"),
+            "bs": bs,
+            "numjobs": int(numjobs),
+            "iodepth": int(cell.get("iodepth", default_iodepth(bs))),
+            "runtime": float(runtime),
+            "ssds": int(cell.get("ssds", 1)),
+            "sample_every": int(cell.get("sample_every", 20)),
+            "quick": quick,
+        }
+        if cell.get("targets") is not None:
+            config["targets"] = int(cell["targets"])
+    elif experiment == "fig3":
+        config = {
+            "experiment": "fig3",
+            "rw": cell.get("rw", "read"),
+            "bs": bs,
+            "numjobs": int(cell.get("numjobs", 1)),
+            "iodepth": int(cell.get("iodepth", default_iodepth(bs))),
+            "runtime": float(cell.get("runtime", 0.03)),
+            "ssds": int(cell.get("ssds", 1)),
+        }
+    else:  # fig4
+        config = {
+            "experiment": "fig4",
+            "provider": cell.get("provider", "ucx+rc"),
+            "rw": cell.get("rw", "randread"),
+            "bs": bs,
+            "client_cores": int(cell.get("client_cores", 4)),
+            "server_cores": int(cell.get("server_cores", 4)),
+            "iodepth": int(cell.get("iodepth", 32)),
+            "runtime": float(cell.get("runtime", 0.02)),
+        }
+    seed = cell.get("seed")
+    if seed == "auto":
+        from repro.sim.rng import seed_from_key
+
+        base = {k: v for k, v in config.items() if k != "seed"}
+        config["seed"] = seed_from_key(
+            f"{lg.config_slug(base)}-{lg.config_hash(base)}")
+    elif seed is not None:
+        config["seed"] = int(seed)
+    return config
+
+
+def cell_key(config: dict) -> str:
+    """The cell's stable identity: human slug + config hash.
+
+    Depends only on the config content — two campaigns (or a campaign
+    and a single ``doctor --ledger`` run) naming the same cell agree on
+    the key regardless of spec layout or execution order.
+    """
+    return f"{lg.config_slug(config)}-{lg.config_hash(config)}"
+
+
+def cell_label(config: dict) -> str:
+    """The human label recorded on the cell's ledger record.
+
+    Must match the label the equivalent CLI invocation writes — labels
+    are content-hashed, so a mismatch would fork the run ID.
+    """
+    experiment = config["experiment"]
+    if experiment == "fig5":
+        return (f"doctor {config['transport']}/{config['client']} "
+                f"{config['rw']} bs={config['bs']} jobs={config['numjobs']} "
+                f"ssds={config['ssds']}")
+    if experiment == "fig3":
+        return (f"fig3 {config['rw']} bs={config['bs']} "
+                f"jobs={config['numjobs']} ssds={config['ssds']}")
+    return (f"fig4 {config['provider']} {config['rw']} bs={config['bs']} "
+            f"c={config['client_cores']} s={config['server_cores']}")
+
+
+# ---------------------------------------------------------------------------
+# Single-cell execution (runs in workers and in-process alike)
+# ---------------------------------------------------------------------------
+
+def execute_cell(config: dict) -> dict:
+    """Simulate one cell and reduce it to an *unstamped* ledger record.
+
+    Volatile fields (``created``/``git_sha``/``code_fingerprint``) are
+    left for the parent to stamp once, so records cannot depend on which
+    worker ran them or when they finished.
+    """
+    experiment = config["experiment"]
+    if experiment == "fig5":
+        from repro.bench.runner import run_fig5_doctored
+
+        run = run_fig5_doctored(
+            config["transport"], config["client"], config["rw"],
+            config["bs"], config["numjobs"], n_ssds=config["ssds"],
+            iodepth=config["iodepth"], runtime=config["runtime"],
+            sample_every=config["sample_every"],
+            observe_sampler=not config["quick"],
+            seed=config.get("seed"), n_targets=config.get("targets"),
+        )
+        return lg.make_run_record(
+            run.result, run.collector, run.tracer, config=config,
+            label=cell_label(config), kind="doctor")
+    if experiment == "fig3":
+        from repro.bench.runner import run_fig3_cell
+
+        result = run_fig3_cell(
+            config["rw"], config["bs"], config["numjobs"],
+            n_ssds=config["ssds"], iodepth=config["iodepth"],
+            runtime=config["runtime"], seed=config.get("seed"))
+    else:
+        from repro.bench.runner import run_fig4_cell
+
+        result = run_fig4_cell(
+            config["provider"], config["rw"], config["bs"],
+            config["client_cores"], config["server_cores"],
+            iodepth=config["iodepth"], runtime=config["runtime"],
+            seed=config.get("seed"))
+    return lg.make_cell_record(result, config=config,
+                               label=cell_label(config), kind=experiment)
+
+
+def _campaign_worker(item: Tuple[str, dict]) -> tuple:
+    """Pool entry point: never raises — a crash becomes a per-cell error."""
+    key, config = item
+    t0 = time.perf_counter()
+    try:
+        record = execute_cell(config)
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        return (key, "error",
+                {"error": f"{type(exc).__name__}: {exc}",
+                 "traceback": traceback.format_exc()},
+                time.perf_counter() - t0)
+    return (key, "ok", record, time.perf_counter() - t0)
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+def find_cached(config: dict, fingerprint: str,
+                ledger_dir: str = lg.DEFAULT_LEDGER_DIR) -> Optional[dict]:
+    """A committed record that already answers this cell, or ``None``.
+
+    Cache key: the record's full ``config`` equals the cell's *and* its
+    stamped ``code_fingerprint`` equals the current tree's.  Records
+    without a fingerprint (pre-campaign vintage) never hit.
+    """
+    want_hash = lg.config_hash(config)
+    try:
+        names = sorted(os.listdir(ledger_dir))
+    except OSError:
+        return None
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(ledger_dir, name)) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if record.get("format") != lg.FORMAT:
+            continue
+        if record.get("config_hash") != want_hash:
+            continue
+        if record.get("config") != config:
+            continue
+        if record.get("code_fingerprint") != fingerprint:
+            continue
+        return record
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell of the campaign."""
+
+    key: str
+    config: dict
+    status: str  # "cached" | "ran" | "error" | "would-run"
+    run_id: Optional[str] = None
+    path: Optional[str] = None
+    wall_s: float = 0.0
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        out = {"key": self.key, "status": self.status,
+               "config": self.config, "wall_s": self.wall_s}
+        if self.run_id is not None:
+            out["run_id"] = self.run_id
+        if self.path is not None:
+            out["path"] = self.path
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class CampaignResult:
+    """The executor's report: one outcome per cell plus timing."""
+
+    name: str
+    jobs: int
+    ledger_dir: str
+    fingerprint: str
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+    dry_run: bool = False
+
+    @property
+    def errors(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.status] = counts.get(o.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "name": self.name,
+            "jobs": self.jobs,
+            "ledger_dir": self.ledger_dir,
+            "code_fingerprint": self.fingerprint,
+            "dry_run": self.dry_run,
+            "n_cells": len(self.outcomes),
+            "counts": self.counts(),
+            "wall_s": self.wall_s,
+            "cell_wall_s": sum(o.wall_s for o in self.outcomes),
+            "cells": [o.to_dict() for o in self.outcomes],
+        }
+
+
+def _pool_map(items: List[Tuple[str, dict]], jobs: int,
+              on_result: Callable[[tuple], None]) -> None:
+    """Run :func:`_campaign_worker` over ``items`` on ``jobs`` processes.
+
+    Results are delivered through ``on_result`` as they complete
+    (completion order — callers must not let it leak into outputs).  A
+    broken pool (worker killed outright) surfaces as per-cell errors for
+    every not-yet-finished cell rather than aborting the campaign.
+    """
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = mp.get_context()
+    pending = {key for key, _ in items}
+    try:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            for result in pool.map(_campaign_worker, items):
+                pending.discard(result[0])
+                on_result(result)
+    except BrokenProcessPool:
+        for key in sorted(pending):
+            on_result((key, "error",
+                       {"error": "worker process died (BrokenProcessPool)",
+                        "traceback": ""}, 0.0))
+
+
+def run_campaign(
+    spec: dict,
+    jobs: int = 1,
+    ledger_dir: str = lg.DEFAULT_LEDGER_DIR,
+    cache: bool = True,
+    force: bool = False,
+    dry_run: bool = False,
+    git_sha: Optional[str] = None,
+    created: Optional[str] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
+    fingerprint: Optional[str] = None,
+) -> CampaignResult:
+    """Expand ``spec``, execute every non-cached cell, merge into the ledger.
+
+    The merge is deterministic: outcomes sort by cell key, all volatile
+    stamps come from the parent's arguments, and records are written in
+    sorted order after the pool drains — a ``jobs=N`` campaign's ledger
+    output is byte-identical to ``jobs=1`` given the same stamps.
+    """
+    t0 = time.perf_counter()
+    configs = expand_spec(spec)
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    result = CampaignResult(name=str(spec.get("name", "campaign")),
+                            jobs=jobs, ledger_dir=ledger_dir,
+                            fingerprint=fingerprint, dry_run=dry_run)
+
+    outcomes: Dict[str, CellOutcome] = {}
+    to_run: List[Tuple[str, dict]] = []
+    for config in configs:
+        key = cell_key(config)
+        cached = None
+        if cache and not force:
+            cached = find_cached(config, fingerprint, ledger_dir)
+        if cached is not None:
+            outcomes[key] = CellOutcome(
+                key=key, config=config, status="cached",
+                run_id=cached["run_id"],
+                path=os.path.join(ledger_dir, f"{cached['run_id']}.json"))
+            if progress is not None:
+                progress(outcomes[key])
+        elif dry_run:
+            outcomes[key] = CellOutcome(key=key, config=config,
+                                        status="would-run")
+            if progress is not None:
+                progress(outcomes[key])
+        else:
+            to_run.append((key, config))
+
+    records: Dict[str, dict] = {}
+
+    def on_result(res: tuple) -> None:
+        key, status, payload, wall = res
+        config = dict(next(c for k, c in to_run if k == key))
+        if status == "ok":
+            records[key] = payload
+            outcomes[key] = CellOutcome(key=key, config=config, status="ran",
+                                        run_id=payload["run_id"], wall_s=wall)
+        else:
+            outcomes[key] = CellOutcome(key=key, config=config,
+                                        status="error", wall_s=wall,
+                                        error=payload["error"],
+                                        traceback=payload.get("traceback"))
+        if progress is not None:
+            progress(outcomes[key])
+
+    if to_run:
+        if jobs <= 1 or len(to_run) == 1:
+            for item in to_run:
+                on_result(_campaign_worker(item))
+        else:
+            _pool_map(to_run, jobs, on_result)
+
+    # Deterministic merge: sorted by cell key, volatile stamps from the
+    # parent, written only after every cell has reported.
+    for key in sorted(records):
+        record = records[key]
+        record["created"] = created
+        record["git_sha"] = git_sha
+        record["code_fingerprint"] = fingerprint
+        path = lg.save_run(record, ledger_dir)
+        outcomes[key].path = path
+
+    result.outcomes = [outcomes[k] for k in sorted(outcomes)]
+    result.wall_s = time.perf_counter() - t0
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Verification against a committed ledger (the CI determinism gate)
+# ---------------------------------------------------------------------------
+
+def check_campaign(result: CampaignResult, against_dir: str) -> List[str]:
+    """Compare the campaign's records against a committed ledger directory.
+
+    Returns failure strings (empty = every cell reproduced).  Volatile
+    fields are ignored — the comparison is on run IDs (content-derived)
+    and the stripped record content, which is exactly the "parallel runs
+    are byte-identical to the committed serial campaign" claim.
+    """
+    failures = []
+    for outcome in result.outcomes:
+        if outcome.status == "error":
+            failures.append(f"{outcome.key}: cell errored: {outcome.error}")
+            continue
+        if outcome.run_id is None:  # pragma: no cover - dry runs
+            failures.append(f"{outcome.key}: no record produced")
+            continue
+        committed_path = os.path.join(against_dir, f"{outcome.run_id}.json")
+        if not os.path.isfile(committed_path):
+            hint = ""
+            want_hash = lg.config_hash(outcome.config)
+            for record in lg.list_runs(against_dir):
+                if record.get("config_hash") == want_hash:
+                    hint = (f" (committed ledger has {record['run_id']} for "
+                            f"this config — content differs)")
+                    break
+            failures.append(f"{outcome.key}: {outcome.run_id}.json not in "
+                            f"{against_dir}{hint}")
+            continue
+        with open(committed_path) as fh:
+            committed = json.load(fh)
+        produced = lg.load_run(outcome.run_id, result.ledger_dir) \
+            if outcome.path else None
+        if produced is None:  # pragma: no cover
+            failures.append(f"{outcome.key}: record file missing")
+            continue
+        if lg.strip_volatile(produced) != lg.strip_volatile(committed):
+            failures.append(f"{outcome.key}: content differs from committed "
+                            f"{outcome.run_id}.json despite equal run ID")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Cell references — "cell:k=v,..." resolved through the executor
+# ---------------------------------------------------------------------------
+
+def parse_cell_ref(ref: str) -> dict:
+    """Parse ``cell:transport=rdma,bs=4k,numjobs=16`` into a cell dict.
+
+    Values parse as int/float/bool where they look like one; ``bs``
+    accepts size suffixes.  The result feeds :func:`normalize_cell`, so
+    unspecified knobs take the standard defaults.
+    """
+    body = ref[len("cell:"):]
+    cell: dict = {}
+    for part in filter(None, body.split(",")):
+        if "=" not in part:
+            raise ValueError(f"bad cell ref component {part!r} "
+                             "(expected key=value)")
+        key, value = part.split("=", 1)
+        key = key.strip()
+        value = value.strip()
+        if value.lower() in ("true", "false"):
+            cell[key] = value.lower() == "true"
+        else:
+            try:
+                cell[key] = int(value)
+            except ValueError:
+                try:
+                    cell[key] = float(value)
+                except ValueError:
+                    cell[key] = value
+    return cell
+
+
+def resolve_run_or_cell(ref: str, ledger_dir: str = lg.DEFAULT_LEDGER_DIR,
+                        git_sha: Optional[str] = None,
+                        created: Optional[str] = None) -> dict:
+    """Load a ledger run — or execute a ``cell:`` reference through the
+    executor (cache-first) and return its record.
+
+    This is how ``doctor --against`` and ``compare-runs`` accept cells
+    that were never recorded: the executor runs the cell exactly as a
+    campaign would (same config identity, same cache), records it into
+    the ledger, and hands back the record.
+    """
+    if not ref.startswith("cell:"):
+        return lg.load_run(ref, ledger_dir)
+    config = normalize_cell(parse_cell_ref(ref))
+    fingerprint = code_fingerprint()
+    cached = find_cached(config, fingerprint, ledger_dir)
+    if cached is not None:
+        return cached
+    spec = {"format": FORMAT, "name": "adhoc-cell", "cells": [config]}
+    result = run_campaign(spec, jobs=1, ledger_dir=ledger_dir,
+                          git_sha=git_sha, created=created,
+                          fingerprint=fingerprint)
+    if result.errors:
+        err = result.errors[0]
+        raise ValueError(f"cell {err.key} failed: {err.error}")
+    return lg.load_run(result.outcomes[0].run_id, ledger_dir)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_campaign(result: CampaignResult) -> str:
+    """One-screen human summary of a campaign run."""
+    counts = result.counts()
+    head = (f"campaign {result.name}: {len(result.outcomes)} cells, "
+            f"jobs={result.jobs}"
+            + (" (dry run)" if result.dry_run else ""))
+    parts = [f"{counts.get(s, 0)} {s}" for s in
+             ("ran", "cached", "would-run", "error") if counts.get(s)]
+    lines = [head + " — " + ", ".join(parts) if parts else head]
+    for o in result.outcomes:
+        mark = {"ran": "+", "cached": "=", "would-run": "~",
+                "error": "!"}.get(o.status, "?")
+        tail = o.run_id or ""
+        if o.status == "error":
+            tail = o.error or "error"
+        wall = f" [{o.wall_s * 1e3:7.1f} ms]" if o.wall_s else ""
+        lines.append(f"  {mark} {o.key:48s} {o.status:9s}{wall} {tail}")
+    lines.append(f"  wall {result.wall_s:.3f} s "
+                 f"(cell time {sum(o.wall_s for o in result.outcomes):.3f} s, "
+                 f"fingerprint {result.fingerprint})")
+    return "\n".join(lines)

@@ -18,7 +18,21 @@ writing code::
         fig5-rdma-dpu-randread-4096 --diff-wait-flame diff.txt
     python -m repro.bench.cli doctor --quick --transport rdma \
         --against fig5-tcp-dpu-randread-4096 --diff-out diff.json
+    python -m repro.bench.cli campaign benchmarks/campaigns/fig5_ci.json \
+        --jobs 4 --progress                  # parallel sweep, cache-aware
+    python -m repro.bench.cli campaign spec.json --dry-run    # what would run?
     python -m repro.bench.cli providers
+
+``campaign`` expands a declarative sweep spec (``repro-campaign-v1``:
+defaults + cartesian grid axes + explicit cells) and executes the cells
+on a multiprocessing pool, recording each as a ledger record.  Cells are
+**cached** content-addressed — a cell whose config hash and code
+fingerprint (hash of the ``src/repro`` tree) already appear in the
+ledger is skipped; ``--no-cache``/``--force`` override.  Output is
+merged sorted by cell key, so ``--jobs N`` is byte-identical to serial;
+``--check DIR`` turns that into a CI gate against a committed ledger.
+``doctor --against`` and ``compare-runs`` additionally accept
+``cell:k=v,...`` references resolved through the same executor.
 
 Sizes accept ``4k``/``1m`` suffixes.  Output is one line per run in the
 paper's units (GiB/s for >=64 KiB blocks, K IOPS otherwise).  ``trace``
@@ -58,6 +72,7 @@ import sys
 from typing import Optional
 
 from repro.bench.runner import (
+    default_iodepth,
     run_fig3_cell,
     run_fig4_cell,
     run_fig5_cell,
@@ -65,7 +80,7 @@ from repro.bench.runner import (
     run_fig5_traced,
 )
 from repro.net.fabric import list_providers
-from repro.workload.fio import FioResult
+from repro.workload.fio import FioJobSpec, FioResult
 
 __all__ = ["main", "parse_size"]
 
@@ -233,8 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ledger_args(pd)
     pd.add_argument("--against", metavar="RUN", default=None,
                     help="differential mode: compare this run against a "
-                         "ledger run (run ID, unique ID prefix, or file "
-                         "path) and attribute the delta per resource")
+                         "ledger run (run ID, unique ID prefix, file "
+                         "path, or a 'cell:k=v,...' spec executed "
+                         "through the campaign executor, cache-first) "
+                         "and attribute the delta per resource")
     pd.add_argument("--diff-out", metavar="PATH", default=None,
                     help="write the repro-diff-v1 JSON verdict "
                          "(requires --against)")
@@ -280,16 +297,53 @@ def build_parser() -> argparse.ArgumentParser:
                          "inspect; omit to list all runs")
     pr.add_argument("--ledger-dir", metavar="DIR", default=None,
                     help="ledger directory (default benchmarks/ledger)")
+    pr.add_argument("--format", choices=["table", "json"], default=None,
+                    help="listing format (default table)")
     pr.add_argument("--json", action="store_true",
-                    help="emit the listing / record as JSON")
+                    help="shorthand for --format json")
+
+    pca = sub.add_parser(
+        "campaign",
+        help="expand a sweep spec into cells and run them on a worker "
+             "pool with content-addressed run caching",
+    )
+    pca.add_argument("spec", help="repro-campaign-v1 JSON sweep spec")
+    pca.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default 1 = in-process); "
+                          "output is byte-identical for any N")
+    pca.add_argument("--dry-run", action="store_true",
+                     help="expand and report cached/missing cells "
+                          "without simulating anything")
+    pca.add_argument("--progress", action="store_true",
+                     help="print each cell as it completes (completion "
+                          "order; the merged output stays sorted)")
+    pca.add_argument("--no-cache", action="store_true",
+                     help="ignore cached records (still writes results)")
+    pca.add_argument("--force", action="store_true",
+                     help="re-simulate every cell even when cached")
+    pca.add_argument("--json-out", metavar="PATH", default=None,
+                     help="write the repro-campaign-v1 execution report "
+                          "(per-cell status + wall-clock)")
+    pca.add_argument("--check", metavar="DIR", default=None,
+                     help="after running, fail unless every record "
+                          "matches the committed ledger DIR (volatile "
+                          "fields ignored) — the CI determinism gate")
+    pca.add_argument("--ledger-dir", metavar="DIR", default=None,
+                     help="ledger directory records are read from and "
+                          "written to (default benchmarks/ledger)")
+    pca.add_argument("--git-sha", metavar="SHA", default=None,
+                     help="git SHA to stamp on new records "
+                          "(default: $REPRO_GIT_SHA, then git rev-parse)")
 
     pcr = sub.add_parser(
         "compare-runs",
         help="differential doctor on two ledger runs: attribute the "
              "latency/IOPS delta per resource (no simulation)",
     )
-    pcr.add_argument("base", help="baseline run: ID, unique prefix, or path")
-    pcr.add_argument("current", help="current run: ID, unique prefix, or path")
+    pcr.add_argument("base", help="baseline run: ID, unique prefix, path, "
+                                  "or 'cell:k=v,...' (executed on demand)")
+    pcr.add_argument("current", help="current run: ID, unique prefix, path, "
+                                     "or 'cell:k=v,...' (executed on demand)")
     pcr.add_argument("--ledger-dir", metavar="DIR", default=None,
                     help="ledger directory (default benchmarks/ledger)")
     pcr.add_argument("--json-out", metavar="PATH", default=None,
@@ -390,8 +444,11 @@ def _run_perf(args) -> int:
     if args.ledger:
         from repro.bench import ledger as lg
 
+        from repro.bench.campaign import code_fingerprint
+
         record = lg.make_perf_record(doc, git_sha=_git_sha(args),
-                                     created=_now_iso())
+                                     created=_now_iso(),
+                                     code_fingerprint=code_fingerprint())
         path = lg.save_run(record, _ledger_dir(args))
         print(f"ledger: recorded {record['run_id']} -> {path}")
     if args.out:
@@ -544,13 +601,17 @@ def _run_doctor(args) -> int:
         return 2
 
     # Same fail-fast rule for the differential baseline: resolve the
-    # ledger reference (and catch dangling diff flags) up front.
+    # ledger reference (and catch dangling diff flags) up front.  A
+    # ``cell:`` reference goes through the campaign executor —
+    # cache-first, simulated and recorded only when missing.
     base_record = None
     if args.against:
-        from repro.bench import ledger as lg
+        from repro.bench.campaign import resolve_run_or_cell
 
         try:
-            base_record = lg.load_run(args.against, _ledger_dir(args))
+            base_record = resolve_run_or_cell(
+                args.against, _ledger_dir(args),
+                git_sha=_git_sha(args), created=_now_iso())
         except (ValueError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -622,13 +683,14 @@ def _run_doctor(args) -> int:
 
     if args.ledger or base_record is not None:
         from repro.bench import ledger as lg
+        from repro.bench.campaign import code_fingerprint
 
         config = _fig5_run_config(args.transport, args.client, run.spec,
                                   args.ssds, args.sample, quick=args.quick)
         record = lg.make_run_record(
             run.result, run.collector, run.tracer, config=config,
             label=label, kind="doctor", git_sha=_git_sha(args),
-            created=_now_iso())
+            created=_now_iso(), code_fingerprint=code_fingerprint())
         if args.ledger:
             path = lg.save_run(record, _ledger_dir(args))
             print(f"ledger: recorded {record['run_id']} -> {path}")
@@ -648,6 +710,60 @@ def _run_doctor(args) -> int:
     return diag.exit_code
 
 
+def _run_campaign(args) -> int:
+    import json
+
+    from repro.bench import campaign as cp
+
+    try:
+        spec = cp.load_spec(args.spec)
+        cells = cp.expand_spec(spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    progress = None
+    if args.progress:
+        done = [0]
+
+        def progress(outcome, total=len(cells)):
+            done[0] += 1
+            tail = outcome.run_id or outcome.error or ""
+            print(f"[{done[0]}/{total}] {outcome.status:9s} "
+                  f"{outcome.key}  {tail}", flush=True)
+
+    result = cp.run_campaign(
+        spec, jobs=args.jobs, ledger_dir=_ledger_dir(args),
+        cache=not args.no_cache, force=args.force, dry_run=args.dry_run,
+        git_sha=_git_sha(args), created=_now_iso(), progress=progress)
+    print(cp.render_campaign(result))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote campaign report {args.json_out}")
+    rc = result.exit_code
+    for err in result.errors:
+        print(f"\ncell {err.key} failed: {err.error}", file=sys.stderr)
+        if err.traceback:
+            print(err.traceback, file=sys.stderr)
+    if args.check and not args.dry_run:
+        failures = cp.check_campaign(result, args.check)
+        if failures:
+            print(f"\nFAIL: {len(failures)} cell(s) differ from the "
+                  f"committed campaign in {args.check}", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            rc = max(rc, 1)
+        else:
+            print(f"determinism gate OK: all {len(result.outcomes)} "
+                  f"record(s) match {args.check}")
+    return rc
+
+
 def _run_runs(args) -> int:
     import json
 
@@ -655,13 +771,14 @@ def _run_runs(args) -> int:
     from repro.bench.report import Table
 
     ldir = _ledger_dir(args)
+    as_json = args.json or args.format == "json"
     if args.ref:
         try:
             record = lg.load_run(args.ref, ldir)
         except (ValueError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        if args.json:
+        if as_json:
             print(json.dumps(record, indent=2, sort_keys=True))
             return 0
         print(f"run {record['run_id']} ({record.get('kind', '?')})")
@@ -685,8 +802,10 @@ def _run_runs(args) -> int:
                 t.add_row(name, [f"{comp['total'] / traces * 1e6:10.3f}"])
             print(t.render())
         return 0
+    # list_runs sorts by run ID (name asc), so the listing is stable
+    # regardless of directory iteration order.
     records = lg.list_runs(ldir)
-    if args.json:
+    if as_json:
         print(json.dumps([lg.run_summary(r) for r in records],
                          indent=2, sort_keys=True))
         return 0
@@ -708,13 +827,17 @@ def _run_runs(args) -> int:
 
 
 def _run_compare_runs(args) -> int:
-    from repro.bench import ledger as lg
+    from repro.bench.campaign import resolve_run_or_cell
     from repro.sim.diffdoctor import diff_runs
 
     ldir = _ledger_dir(args)
     try:
-        base = lg.load_run(args.base, ldir)
-        current = lg.load_run(args.current, ldir)
+        base = resolve_run_or_cell(args.base, ldir,
+                                   git_sha=_git_sha(args),
+                                   created=_now_iso())
+        current = resolve_run_or_cell(args.current, ldir,
+                                      git_sha=_git_sha(args),
+                                      created=_now_iso())
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -737,6 +860,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.experiment == "compare":
         return _run_compare(args)
+
+    if args.experiment == "campaign":
+        return _run_campaign(args)
 
     if args.experiment == "runs":
         return _run_runs(args)
@@ -775,8 +901,24 @@ def main(argv: Optional[list] = None) -> int:
                       "'doctor --ledger' instead", file=sys.stderr)
                 return 2
             from repro.bench import ledger as lg
+            from repro.bench.campaign import code_fingerprint, find_cached
             from repro.bench.runner import run_fig5_doctored
 
+            fingerprint = code_fingerprint()
+            probe_spec = FioJobSpec(
+                rw=args.rw, bs=args.bs, numjobs=args.jobs,
+                iodepth=default_iodepth(args.bs),
+                runtime=args.runtime if args.runtime is not None
+                else (0.15 if args.bs >= 1024**2 else 0.03))
+            config = _fig5_run_config(args.transport, args.client,
+                                      probe_spec, args.ssds, args.sample)
+            cached = find_cached(config, fingerprint, _ledger_dir(args))
+            if cached is not None:
+                # Content-addressed hit: same config, same code — the
+                # committed record already IS this run's outcome.
+                print(f"{label}: cached (run {cached['run_id']}, "
+                      f"fingerprint {fingerprint})")
+                return 0
             run = run_fig5_doctored(args.transport, args.client, args.rw,
                                     args.bs, args.jobs, n_ssds=args.ssds,
                                     runtime=args.runtime,
@@ -789,7 +931,8 @@ def main(argv: Optional[list] = None) -> int:
                                         run.tracer, config=config,
                                         label=label, kind="fig5",
                                         git_sha=_git_sha(args),
-                                        created=_now_iso())
+                                        created=_now_iso(),
+                                        code_fingerprint=fingerprint)
             path = lg.save_run(record, _ledger_dir(args))
             print(f"ledger: recorded {record['run_id']} -> {path}")
             return 0

@@ -44,8 +44,10 @@ __all__ = [
     "canonical_json",
     "config_hash",
     "config_slug",
+    "strip_volatile",
     "make_run_record",
     "make_perf_record",
+    "make_cell_record",
     "save_run",
     "load_run",
     "resolve_ref",
@@ -61,8 +63,11 @@ FORMAT = "repro-run-v1"
 DEFAULT_LEDGER_DIR = "benchmarks/ledger"
 
 #: Fields excluded from the content hash: they vary between recordings
-#: of the *same* outcome (wall time, checkout) and must not move the ID.
-_VOLATILE_FIELDS = ("run_id", "created", "git_sha")
+#: of the *same* outcome (wall time, checkout, source-tree fingerprint)
+#: and must not move the ID.  ``code_fingerprint`` is volatile by
+#: design — it keys the campaign executor's cache, and including it in
+#: the ID would orphan every stable run-ID prefix on each comment edit.
+_VOLATILE_FIELDS = ("run_id", "created", "git_sha", "code_fingerprint")
 
 
 def canonical_json(obj: object) -> str:
@@ -77,8 +82,18 @@ def config_hash(config: dict) -> str:
 
 def content_hash(record: dict) -> str:
     """Hash of the record's non-volatile content (defines the run ID)."""
-    stripped = {k: v for k, v in record.items() if k not in _VOLATILE_FIELDS}
-    return hashlib.sha256(canonical_json(stripped).encode()).hexdigest()[:10]
+    return hashlib.sha256(
+        canonical_json(strip_volatile(record)).encode()).hexdigest()[:10]
+
+
+def strip_volatile(record: dict) -> dict:
+    """The record's identity-bearing content (what the run ID hashes).
+
+    The campaign determinism gate compares records through this view, so
+    re-recordings that differ only in wall time / checkout / source
+    fingerprint count as identical.
+    """
+    return {k: v for k, v in record.items() if k not in _VOLATILE_FIELDS}
 
 
 def config_slug(config: dict) -> str:
@@ -128,6 +143,7 @@ def make_run_record(
     kind: str = "doctor",
     git_sha: Optional[str] = None,
     created: Optional[str] = None,
+    code_fingerprint: Optional[str] = None,
     include_series: bool = True,
     series_points_cap: int = 96,
 ) -> dict:
@@ -148,6 +164,7 @@ def make_run_record(
         "label": label,
         "created": created,
         "git_sha": git_sha,
+        "code_fingerprint": code_fingerprint,
         "config": dict(config),
         "config_hash": config_hash(config),
         "metrics": flatten_numeric({"result": result.to_dict()}),
@@ -181,6 +198,7 @@ def make_perf_record(
     label: str = "",
     git_sha: Optional[str] = None,
     created: Optional[str] = None,
+    code_fingerprint: Optional[str] = None,
 ) -> dict:
     """A ledger record for a wall-clock perfbench document.
 
@@ -194,10 +212,41 @@ def make_perf_record(
         "label": label or doc.get("label", "perfbench"),
         "created": created,
         "git_sha": git_sha,
+        "code_fingerprint": code_fingerprint,
         "config": config,
         "config_hash": config_hash(config),
         "metrics": flatten_numeric(
             {k: v for k, v in doc.items() if k not in ("format", "label")}),
+    }
+    return _finish_record(record)
+
+
+def make_cell_record(
+    result,
+    config: dict,
+    label: str = "",
+    kind: str = "fig3",
+    git_sha: Optional[str] = None,
+    created: Optional[str] = None,
+    code_fingerprint: Optional[str] = None,
+) -> dict:
+    """A metrics-only record for cells run without the doctor pipeline.
+
+    Fig. 3 / Fig. 4 campaign cells have no ROS2 wait tracer attached, so
+    their records carry the config identity and the full metric flatten
+    but no blame/flame sections — enough for sweep results, caching, and
+    ``runs``, though not for the differential doctor.
+    """
+    record = {
+        "format": FORMAT,
+        "kind": kind,
+        "label": label,
+        "created": created,
+        "git_sha": git_sha,
+        "code_fingerprint": code_fingerprint,
+        "config": dict(config),
+        "config_hash": config_hash(config),
+        "metrics": flatten_numeric({"result": result.to_dict()}),
     }
     return _finish_record(record)
 
@@ -242,9 +291,18 @@ def resolve_ref(ref: str, ledger_dir: str = DEFAULT_LEDGER_DIR) -> str:
     if len(matches) == 1:
         return os.path.join(ledger_dir, f"{matches[0]}.json")
     if len(matches) > 1:
-        raise ValueError(
-            f"run ref {ref!r} is ambiguous in {ledger_dir}: "
-            + ", ".join(matches))
+        lines = [f"run ref {ref!r} is ambiguous in {ledger_dir} "
+                 f"({len(matches)} matches):"]
+        for rid in matches:  # ids are sorted, so candidates are too
+            try:
+                with open(os.path.join(ledger_dir, f"{rid}.json")) as fh:
+                    record = json.load(fh)
+                detail = f"  {rid}  [{record.get('kind', '?')}]"
+            except (OSError, ValueError):
+                detail = f"  {rid}"
+            lines.append(detail)
+        lines.append("give more characters of the ID to disambiguate")
+        raise ValueError("\n".join(lines))
     known = ", ".join(ids) if ids else "(ledger empty)"
     raise ValueError(f"no run matching {ref!r} in {ledger_dir}; known: {known}")
 

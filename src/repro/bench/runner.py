@@ -48,6 +48,16 @@ def default_iodepth(bs: int) -> int:
     return 16 if bs < 64 * 1024 else 8
 
 
+def _seed_kwargs(seed: Optional[int]) -> dict:
+    """Per-cell RNG override, leaving the FioJobSpec default in one place.
+
+    The campaign executor derives a seed from the cell key (``"seed":
+    "auto"``), so a cell's offset streams depend only on its config —
+    never on which worker ran it or in what order.
+    """
+    return {} if seed is None else {"seed": int(seed)}
+
+
 # ---------------------------------------------------------------------------
 # Fig. 3 — local io_uring
 # ---------------------------------------------------------------------------
@@ -60,6 +70,7 @@ def run_fig3_cell(
     iodepth: Optional[int] = None,
     runtime: float = 0.03,
     collector: Optional[SpanCollector] = None,
+    seed: Optional[int] = None,
 ) -> FioResult:
     """One point of Fig. 3: local FIO with the IO_URING engine."""
     env = Environment()
@@ -70,6 +81,7 @@ def run_fig3_cell(
         iodepth=iodepth or default_iodepth(bs),
         runtime=runtime, ramp_time=runtime / 4,
         size=512 * MIB,
+        **_seed_kwargs(seed),
     )
     return run_fio(env, engine, spec, collector=collector)
 
@@ -108,6 +120,7 @@ def run_fig4_cell(
     iodepth: int = 32,
     runtime: float = 0.03,
     collector: Optional[SpanCollector] = None,
+    seed: Optional[int] = None,
 ) -> FioResult:
     """One heatmap cell of Fig. 4: remote SPDK, pinned core counts.
 
@@ -132,6 +145,7 @@ def run_fig4_cell(
     spec = FioJobSpec(
         rw=rw, bs=bs, numjobs=client_cores, iodepth=iodepth,
         runtime=runtime, ramp_time=runtime / 4, size=512 * MIB,
+        **_seed_kwargs(seed),
     )
     return run_fio(env, adapter, spec, collector=collector)
 
@@ -235,11 +249,14 @@ def _build_fig5(
     n_ssds: int = 1,
     iodepth: Optional[int] = None,
     runtime: Optional[float] = None,
+    seed: Optional[int] = None,
+    n_targets: Optional[int] = None,
 ) -> Tuple[Ros2System, FioJobSpec]:
     """Assemble the Fig. 5 testbed (fresh environment) and its FIO spec."""
     env = Environment()
     system = Ros2System(env, Ros2Config(
-        transport=provider, client=client, n_ssds=n_ssds, data_mode=False,
+        transport=provider, client=client, n_ssds=n_ssds,
+        n_targets=n_targets, data_mode=False,
     ))
     if runtime is None:
         runtime = 0.15 if bs >= MIB else 0.03
@@ -248,6 +265,7 @@ def _build_fig5(
         rw=rw, bs=bs, numjobs=numjobs,
         iodepth=iodepth or default_iodepth(bs),
         runtime=runtime, ramp_time=runtime / 3, size=size,
+        **_seed_kwargs(seed),
     )
     return system, spec
 
@@ -262,6 +280,8 @@ def run_fig5_cell(
     iodepth: Optional[int] = None,
     runtime: Optional[float] = None,
     collector: Optional[SpanCollector] = None,
+    seed: Optional[int] = None,
+    n_targets: Optional[int] = None,
 ) -> FioResult:
     """One point of Fig. 5: FIO/DFS end-to-end on the assembled ROS2 stack.
 
@@ -270,7 +290,8 @@ def run_fig5_cell(
     under-reports steady-state throughput.
     """
     system, spec = _build_fig5(provider, client, rw, bs, numjobs,
-                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime,
+                               seed=seed, n_targets=n_targets)
     return run_ros2_fio(system, spec, collector=collector)
 
 
@@ -284,6 +305,7 @@ def run_fig5_traced(
     iodepth: Optional[int] = None,
     runtime: Optional[float] = None,
     sample_every: int = 1,
+    seed: Optional[int] = None,
 ) -> Tuple[FioResult, SpanCollector, Ros2System]:
     """A Fig. 5 cell with request tracing attached.
 
@@ -292,7 +314,8 @@ def run_fig5_traced(
     system telemetry of the very run that produced the numbers.
     """
     system, spec = _build_fig5(provider, client, rw, bs, numjobs,
-                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime,
+                               seed=seed)
     collector = SpanCollector(system.env, sample_every=sample_every)
     result = run_ros2_fio(system, spec, collector=collector)
     return result, collector, system
@@ -327,6 +350,7 @@ def run_fig5_observed(
     sample_every: Optional[int] = 20,
     sample_interval: Optional[float] = None,
     drain: Optional[float] = None,
+    seed: Optional[int] = None,
 ) -> ObservedRun:
     """A Fig. 5 cell with the full observability stack attached.
 
@@ -343,7 +367,8 @@ def run_fig5_observed(
     from repro.core.telemetry import SystemTimeline, observe, snapshot
 
     system, spec = _build_fig5(provider, client, rw, bs, numjobs,
-                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime,
+                               seed=seed)
     if sample_interval is None:
         sample_interval = (spec.ramp_time + spec.runtime) / 400.0
     sampler = observe(system, interval=sample_interval)
@@ -440,6 +465,8 @@ def run_fig5_doctored(
     runtime: Optional[float] = None,
     sample_every: int = 20,
     observe_sampler: bool = True,
+    seed: Optional[int] = None,
+    n_targets: Optional[int] = None,
 ) -> DoctoredRun:
     """A Fig. 5 cell instrumented for the bottleneck doctor.
 
@@ -454,7 +481,8 @@ def run_fig5_doctored(
     from repro.sim.waits import WaitTracer
 
     system, spec = _build_fig5(provider, client, rw, bs, numjobs,
-                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime)
+                               n_ssds=n_ssds, iodepth=iodepth, runtime=runtime,
+                               seed=seed, n_targets=n_targets)
     spec = dataclasses.replace(spec, record_latency=True)
     tracer = WaitTracer(system.env)
     tracer.install()

@@ -44,7 +44,7 @@ from repro.sim.hist import LogHistogram
 from repro.sim.monitor import Counter, Gauge, LatencyRecorder, Monitor, RateMeter
 from repro.sim.queues import BandwidthPipe, FifoServer
 from repro.sim.resources import Container, PriorityResource, Resource, Store
-from repro.sim.rng import RngStreams
+from repro.sim.rng import RngStreams, seed_from_key
 from repro.sim.spans import (
     LatencyBreakdown,
     Span,
@@ -80,6 +80,7 @@ __all__ = [
     "RateMeter",
     "Resource",
     "RngStreams",
+    "seed_from_key",
     "Sampler",
     "SimulationError",
     "SloRule",

@@ -219,7 +219,13 @@ def diff_runs(
 
     sum_attributed = sum(r["delta"] for r in contributors)
     abs_err = abs(sum_attributed - observed_delta)
-    rel_err = abs_err / scale
+    # The error scale must reflect what was summed: when the observed
+    # delta is ~0 but the cancelling per-resource deltas are large, the
+    # identity's float roundoff is proportional to their magnitude, not
+    # to the near-zero delta — without this, two equal runs over big
+    # blame totals can "fail" on ~1e-14 of cancellation noise.
+    magnitude = sum(abs(r["delta"]) for r in contributors)
+    rel_err = abs_err / max(scale, 1e-9 * magnitude)
     checks = {
         "attribution": {
             "sum_attributed": sum_attributed,

@@ -9,11 +9,24 @@ codes.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngStreams"]
+__all__ = ["RngStreams", "seed_from_key"]
+
+
+def seed_from_key(key: str, salt: int = 0) -> int:
+    """A stable 32-bit seed derived from a string key.
+
+    The campaign executor seeds each cell from its *cell key* (config
+    slug + config hash), so a cell's random streams are a pure function
+    of its configuration — identical whether the cell runs serially, on
+    worker 3 of 8, or in a different campaign entirely.
+    """
+    digest = hashlib.sha256(f"{salt}:{key}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
 
 
 class RngStreams:

@@ -160,3 +160,65 @@ class TestCompareRunsSubcommand:
         assert main(["compare-runs", TCP_4K, "bogus",
                      "--ledger-dir", LEDGER_DIR]) == 2
         assert "no run matching" in capsys.readouterr().err
+
+
+CI_SPEC = os.path.join(os.path.dirname(LEDGER_DIR), "campaigns",
+                       "fig5_ci.json")
+
+
+class TestCampaignSubcommand:
+    def test_dry_run_lists_committed_cells(self, no_sim, capsys):
+        assert main(["campaign", CI_SPEC, "--dry-run",
+                     "--ledger-dir", LEDGER_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "fig5-tcp-dpu-randread-4096-j16" in out
+        assert "fig5-rdma-dpu-read-1048576-j8" in out
+
+    def test_dry_run_writes_json_report(self, no_sim, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        assert main(["campaign", CI_SPEC, "--dry-run", "--progress",
+                     "--ledger-dir", LEDGER_DIR,
+                     "--json-out", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["format"] == "repro-campaign-v1"
+        assert doc["n_cells"] == 4
+        assert {c["status"] for c in doc["cells"]} <= {"cached", "would-run"}
+        assert "[4/4]" in capsys.readouterr().out
+
+    def test_missing_spec_exits_2(self, no_sim, capsys):
+        assert main(["campaign", "does-not-exist.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_foreign_spec_exits_2(self, no_sim, capsys, tmp_path):
+        p = tmp_path / "spec.json"
+        p.write_text('{"format": "nope"}')
+        assert main(["campaign", str(p)]) == 2
+        assert "repro-campaign-v1" in capsys.readouterr().err
+
+    def test_zero_jobs_rejected(self, no_sim, capsys):
+        assert main(["campaign", CI_SPEC, "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestRunsFormatJson:
+    def test_format_json_is_sorted_by_run_id(self, capsys):
+        assert main(["runs", "--ledger-dir", LEDGER_DIR,
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        ids = [r["run_id"] for r in rows]
+        assert ids == sorted(ids) and len(ids) >= 4
+
+    def test_json_shorthand_agrees_with_format_json(self, capsys):
+        assert main(["runs", "--ledger-dir", LEDGER_DIR, "--json"]) == 0
+        shorthand = capsys.readouterr().out
+        assert main(["runs", "--ledger-dir", LEDGER_DIR,
+                     "--format", "json"]) == 0
+        assert capsys.readouterr().out == shorthand
+
+
+class TestCellRefsViaCli:
+    def test_malformed_cell_ref_fails_fast(self, no_sim, capsys):
+        assert main(["doctor", "--quick", "--against", "cell:rdma",
+                     "--ledger-dir", LEDGER_DIR]) == 2
+        assert "key=value" in capsys.readouterr().err

@@ -200,3 +200,63 @@ def test_config_hash_deterministic_and_order_free(config):
     # Round-tripping through JSON never moves the hash.
     again = json.loads(json.dumps(config))
     assert lg.config_hash(again) == lg.config_hash(config)
+
+
+class TestVolatileFields:
+    """strip_volatile and the code-fingerprint stamp (campaign cache key)."""
+
+    def test_strip_volatile_drops_exactly_the_stamp_fields(self, tiny_record):
+        stripped = lg.strip_volatile(tiny_record)
+        for key in ("run_id", "created", "git_sha", "code_fingerprint"):
+            assert key not in stripped
+        assert stripped["metrics"] == tiny_record["metrics"]
+        assert stripped["config"] == tiny_record["config"]
+
+    def test_fingerprint_is_volatile_for_the_run_id(self, tiny_run,
+                                                    tiny_config):
+        a = lg.make_run_record(tiny_run.result, tiny_run.collector,
+                               tiny_run.tracer, config=tiny_config,
+                               label="tiny", code_fingerprint="a" * 16)
+        b = lg.make_run_record(tiny_run.result, tiny_run.collector,
+                               tiny_run.tracer, config=tiny_config,
+                               label="tiny", code_fingerprint="b" * 16)
+        assert a["code_fingerprint"] != b["code_fingerprint"]
+        assert a["run_id"] == b["run_id"]
+        assert lg.strip_volatile(a) == lg.strip_volatile(b)
+
+
+class TestMakeCellRecord:
+    class _Result:
+        def to_dict(self):
+            return {"iops": 1000.0, "latency": {"mean": 1e-4, "p99": 2e-4}}
+
+    def test_metrics_only_record_round_trips(self, tmp_path):
+        config = {"experiment": "fig3", "rw": "read", "bs": 1024**2,
+                  "numjobs": 1, "iodepth": 8, "runtime": 0.03, "ssds": 1}
+        record = lg.make_cell_record(self._Result(), config=config,
+                                     label="fig3 read", kind="fig3",
+                                     git_sha="abc", created="2026-01-01",
+                                     code_fingerprint="f" * 16)
+        assert record["format"] == lg.FORMAT
+        assert record["kind"] == "fig3"
+        assert record["metrics"]["result.iops"] == 1000.0
+        assert record["config_hash"] == lg.config_hash(config)
+        assert record["run_id"].endswith(lg.content_hash(record))
+        lg.save_run(record, str(tmp_path))
+        assert lg.load_run(record["run_id"], str(tmp_path)) == record
+
+
+def test_ambiguous_ref_lists_candidates(tiny_record, tmp_path):
+    lg.save_run(tiny_record, str(tmp_path))
+    other = copy.deepcopy(tiny_record)
+    other["metrics"]["result.iops"] += 1.0
+    other = lg._finish_record(other)
+    lg.save_run(other, str(tmp_path))
+    with pytest.raises(ValueError) as err:
+        lg.resolve_ref("fig5-tcp", str(tmp_path))
+    message = str(err.value)
+    assert "2 matches" in message
+    assert tiny_record["run_id"] in message
+    assert other["run_id"] in message
+    assert f"[{tiny_record['kind']}]" in message
+    assert "disambiguate" in message

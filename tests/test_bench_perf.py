@@ -135,3 +135,62 @@ def test_cli_perf_quick_roundtrip(tmp_path, capsys):
                "--max-regression", "0.90", "--check", str(baseline)])
     assert rc == 0
     assert "perf gate OK" in capsys.readouterr().out
+
+
+def test_bench_campaign_determinism_and_cache():
+    out = pb.bench_campaign(jobs=2, quick=True, repeat=1, warmup=0)
+    # The hard determinism contract: the serial and the parallel ledger
+    # are byte-identical, and the re-run hits the cache on every cell.
+    assert out["records_mismatched"] == 0
+    assert out["errors"] == 0
+    assert out["cache_hits"] == out["n_cells"]
+    assert out["cache_misses"] == 0
+    # The cached re-run never simulates, so it's far faster than serial
+    # (the committed BENCH_perf.json shows >100x; 2x is a safe floor).
+    assert out["cached_speedup_x"] >= 2.0
+    assert out["cpu_count"] >= 1
+    assert out["serial_wall_s"] > 0 and out["parallel_wall_s"] > 0
+
+
+def _fake_campaign_doc():
+    doc = _fake_doc()
+    doc["campaign"] = {
+        "serial_cells_per_sec": 3.0,
+        "cached_cells_per_sec": 500.0,
+        "records_mismatched": 0,
+        "errors": 0,
+    }
+    return doc
+
+
+def test_gate_fails_on_campaign_mismatch_or_error():
+    # records_mismatched and errors are gated as counts against a
+    # baseline of 0 — any growth at all fails.
+    cur = _fake_campaign_doc()
+    cur["campaign"]["records_mismatched"] = 1
+    failures = pb.check_against_baseline(cur, _fake_campaign_doc())
+    assert any("records_mismatched" in f for f in failures)
+    cur = _fake_campaign_doc()
+    cur["campaign"]["errors"] = 2
+    failures = pb.check_against_baseline(cur, _fake_campaign_doc())
+    assert any("campaign.errors" in f for f in failures)
+
+
+def test_gate_bounds_campaign_overhead_rates():
+    cur = _fake_campaign_doc()
+    cur["campaign"]["cached_cells_per_sec"] = 250.0  # -50% < floor
+    failures = pb.check_against_baseline(cur, _fake_campaign_doc(),
+                                         max_regression=0.30)
+    assert any("cached_cells_per_sec" in f for f in failures)
+    assert pb.check_against_baseline(_fake_campaign_doc(),
+                                     _fake_campaign_doc()) == []
+
+
+def test_committed_baseline_carries_campaign_gates():
+    with open("benchmarks/baselines/perf_smoke.json") as fh:
+        base = json.load(fh)
+    camp = base["campaign"]
+    assert camp["records_mismatched"] == 0
+    assert camp["errors"] == 0
+    assert camp["serial_cells_per_sec"] > 0
+    assert camp["cached_cells_per_sec"] > 0

@@ -221,3 +221,33 @@ def test_attribution_identity_on_random_workloads(data):
         assert row["delta"] == pytest.approx(
             row["delta_wait"] + row["delta_service"], rel=1e-9, abs=1e-9)
     assert isinstance(dd, DiffDiagnosis)
+
+
+def test_zero_delta_with_large_cancelling_blame_stays_ok():
+    """Regression: equal means over big blame totals must not fail on
+    float cancellation noise (~1e-14) measured against the 1e-12 delta
+    floor — the error scale has to track the summed magnitudes."""
+    def rec(tag, blame):
+        return {"run_id": tag, "config": {"transport": tag},
+                "traces": {"count": 1, "mean_latency": 0.0,
+                           "sample_every": 1},
+                "metrics": {}, "blame": blame}
+
+    base = rec("a", {
+        "dpu.arm_rx": {"wait": 9.41546282599409, "service": 0.0,
+                       "latency": 6.660545268346674,
+                       "total": 16.075 + 0.000008094340764},
+        "nvme0": {"wait": 9.709133635603646, "service": 0.0,
+                  "latency": 0.0, "total": 9.709133635603646},
+        "net.link": {"wait": 1.909751215520128, "service": 0.0,
+                     "latency": 0.0, "total": 1.909751215520128},
+    })
+    cur = rec("b", {
+        "dpu.arm_rx": {"wait": 0.0, "service": 0.0,
+                       "latency": 1.7661578216173004,
+                       "total": 1.7661578216173004},
+    })
+    dd = diff_runs(base, cur)
+    att = dd.checks["attribution"]
+    assert att["abs_err"] < 1e-12  # the identity really is exact
+    assert att["ok"] and dd.ok
