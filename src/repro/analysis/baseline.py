@@ -1,0 +1,113 @@
+"""The committed suppression baseline for ``simlint``.
+
+The baseline absorbs *intentional* rule violations — wall-clock reads
+in the perf harness, ``sum()`` over values that are provably exact —
+without letting new ones in.  Every entry carries a mandatory
+``justification`` so the file reads as a decision log, and entries are
+keyed on (rule, path, stripped line text) rather than line numbers so
+unrelated edits above a suppressed line don't invalidate it.
+
+The committed file lives at ``benchmarks/baselines/simlint.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.model import Finding
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "DEFAULT_BASELINE_PATH",
+    "Baseline",
+]
+
+BASELINE_FORMAT = "repro-lint-baseline-v1"
+
+#: Where the committed baseline lives, relative to the repo root.
+DEFAULT_BASELINE_PATH = "benchmarks/baselines/simlint.json"
+
+_Key = Tuple[str, str, str]
+
+
+def _canon_path(path: str) -> str:
+    """Invocation-independent path key.
+
+    Lint may be invoked as ``lint src/repro`` from the repo root or
+    with an absolute path from anywhere; anchor the key at the package
+    tree so both spell the same entry.
+    """
+    norm = os.path.normpath(path).replace("\\", "/")
+    idx = norm.find("src/repro/")
+    return norm[idx:] if idx >= 0 else norm.lstrip("./")
+
+
+def _key(rule: str, path: str, line_text: str) -> _Key:
+    return (rule, _canon_path(path), line_text.strip())
+
+
+@dataclass(slots=True)
+class Baseline:
+    """An in-memory suppression baseline."""
+
+    entries: Dict[_Key, str] = field(default_factory=dict)
+    matched: Set[_Key] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"{path}: not a {BASELINE_FORMAT} document "
+                f"(format={doc.get('format')!r})")
+        entries: Dict[_Key, str] = {}
+        for ent in doc.get("entries", []):
+            justification = str(ent.get("justification", "")).strip()
+            if not justification:
+                raise ValueError(
+                    f"{path}: baseline entry for {ent.get('rule')} at "
+                    f"{ent.get('path')} has no justification — every "
+                    "suppression must say why")
+            entries[_key(str(ent["rule"]), str(ent["path"]),
+                         str(ent["line_text"]))] = justification
+        return cls(entries=entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether the baseline absorbs this finding (and record it)."""
+        k = _key(finding.rule, finding.path, finding.line_text)
+        if k in self.entries:
+            self.matched.add(k)
+            return True
+        return False
+
+    def stale_entries(self) -> List[Dict[str, str]]:
+        """Entries that matched nothing — candidates for removal."""
+        return [
+            {"rule": rule, "path": path, "line_text": text,
+             "justification": self.entries[(rule, path, text)]}
+            for rule, path, text in sorted(self.entries)
+            if (rule, path, text) not in self.matched
+        ]
+
+    @staticmethod
+    def write(path: str, findings: List[Finding],
+              justification: str = "TODO: justify this suppression") -> None:
+        """Write a baseline covering ``findings`` (for bootstrap)."""
+        entries = [
+            {"rule": f.rule, "path": _key(f.rule, f.path, "")[1],
+             "line_text": f.line_text.strip(),
+             "justification": justification}
+            for f in sorted(findings,
+                            key=lambda f: (f.path, f.line, f.rule))
+        ]
+        doc = {"format": BASELINE_FORMAT, "entries": entries}
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")

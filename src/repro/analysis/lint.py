@@ -1,0 +1,131 @@
+"""The ``simlint`` engine: walk files, run rules, apply suppressions.
+
+Two suppression mechanisms, in precedence order:
+
+1. **Inline comments** — ``# simlint: disable=SIM001`` (or a
+   comma-separated list) on the offending line silences those rules for
+   that line only.  Use for one-off intentional exceptions where the
+   justification reads naturally in the surrounding code.
+2. **The committed baseline** — a JSON file of (rule, path, line text)
+   entries, each with a mandatory justification string, for findings
+   that are intentional but whose source lines shouldn't grow lint
+   chatter (see :mod:`repro.analysis.baseline`).
+
+Anything not absorbed by either is an *unsuppressed finding* and fails
+the CI ``lint-gate``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.model import Finding, LintReport, RULES
+
+__all__ = [
+    "iter_python_files",
+    "lint_source",
+    "lint_paths",
+    "render_report",
+]
+
+_DISABLE_RE = re.compile(r"#\s*simlint:\s*disable=([A-Z0-9, ]+)")
+
+
+def _inline_disables(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> rule IDs disabled on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _DISABLE_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            out[i] = {r for r in rules if r in RULES}
+    return out
+
+
+def lint_source(
+    relpath: str,
+    source: str,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file's text: (active findings, inline-suppressed)."""
+    from repro.analysis.rules import check_source
+
+    findings = check_source(relpath, source)
+    disables = _inline_disables(source.splitlines())
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        if f.rule in disables.get(f.line, ()):
+            suppressed.append(f)
+        else:
+            active.append(f)
+    return active, suppressed
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d != "__pycache__"
+                                 and not d.startswith("."))
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return sorted(set(out))
+
+
+def _normpath(path: str) -> str:
+    return os.path.normpath(path).replace("\\", "/")
+
+
+def lint_paths(
+    paths: Iterable[str],
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and apply suppressions."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        relpath = _normpath(path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            report.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        try:
+            active, inline = lint_source(relpath, source)
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                f"{relpath}: syntax error at line {exc.lineno}")
+            continue
+        report.files_checked += 1
+        report.suppressed_inline.extend(inline)
+        for f in active:
+            if baseline is not None and baseline.matches(f):
+                report.suppressed_baseline.append(f)
+            else:
+                report.findings.append(f)
+    return report
+
+
+def render_report(report: LintReport) -> str:
+    """Human-readable lint output (one line per finding + summary)."""
+    lines: List[str] = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}")
+        lines.append(f"    hint: {f.hint}")
+    for err in report.parse_errors:
+        lines.append(f"PARSE ERROR: {err}")
+    lines.append(
+        f"simlint: {report.files_checked} files, "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed_inline)} inline-suppressed, "
+        f"{len(report.suppressed_baseline)} baseline-suppressed")
+    return "\n".join(lines)

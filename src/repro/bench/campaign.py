@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+from math import fsum
 import os
 import time
 import traceback
@@ -433,7 +434,7 @@ class CampaignResult:
             "n_cells": len(self.outcomes),
             "counts": self.counts(),
             "wall_s": self.wall_s,
-            "cell_wall_s": sum(o.wall_s for o in self.outcomes),
+            "cell_wall_s": fsum(o.wall_s for o in self.outcomes),
             "cells": [o.to_dict() for o in self.outcomes],
         }
 
@@ -684,6 +685,6 @@ def render_campaign(result: CampaignResult) -> str:
         wall = f" [{o.wall_s * 1e3:7.1f} ms]" if o.wall_s else ""
         lines.append(f"  {mark} {o.key:48s} {o.status:9s}{wall} {tail}")
     lines.append(f"  wall {result.wall_s:.3f} s "
-                 f"(cell time {sum(o.wall_s for o in result.outcomes):.3f} s, "
+                 f"(cell time {fsum(o.wall_s for o in result.outcomes):.3f} s, "
                  f"fingerprint {result.fingerprint})")
     return "\n".join(lines)

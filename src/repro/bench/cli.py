@@ -68,6 +68,7 @@ on regression, which is how CI gates headline numbers.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -372,8 +373,93 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--show-ok", action="store_true",
                     help="show all compared metrics, not just the movers")
 
+    pl = sub.add_parser(
+        "lint",
+        help="simlint: determinism lint (SIM001-SIM006) over a file set",
+    )
+    pl.add_argument("paths", nargs="*", default=["src/repro"],
+                    help="files or directories to lint (default src/repro)")
+    pl.add_argument("--baseline", default=None,
+                    help="suppression baseline JSON (default "
+                         "benchmarks/baselines/simlint.json when present)")
+    pl.add_argument("--no-baseline", action="store_true",
+                    help="ignore any suppression baseline")
+    pl.add_argument("--write-baseline", action="store_true",
+                    help="absorb current findings into --baseline "
+                         "(justifications left as TODO for editing)")
+    pl.add_argument("--json-out", default=None,
+                    help="write the repro-lint-v1 document here")
+
+    ps = sub.add_parser(
+        "sanitize",
+        help="virtual-time race sanitizer: tie-shuffle x PYTHONHASHSEED "
+             "matrix over the quick Fig. 5 cells",
+    )
+    ps.add_argument("--transport", choices=["rdma", "tcp", "both"],
+                    default="both", help="which quick cell(s) to run")
+    ps.add_argument("--seeds", type=int, default=5,
+                    help="number of tie-shuffle seeds (default 5)")
+    ps.add_argument("--hash-seeds", default="0,12345",
+                    help="comma-separated PYTHONHASHSEED values "
+                         "(default 0,12345)")
+    ps.add_argument("--runtime", type=float, default=0.02,
+                    help="simulated seconds per run (default 0.02)")
+    ps.add_argument("--json-out", default=None,
+                    help="write the repro-sanitize-v1 document here")
+
     sub.add_parser("providers", help="list fabric providers")
     return parser
+
+
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.analysis import Baseline, lint_paths
+    from repro.analysis.baseline import DEFAULT_BASELINE_PATH
+    from repro.analysis.lint import render_report
+
+    baseline_path = args.baseline or DEFAULT_BASELINE_PATH
+    baseline = None
+    if not args.no_baseline and not args.write_baseline \
+            and os.path.isfile(baseline_path):
+        baseline = Baseline.load(baseline_path)
+    report = lint_paths(args.paths, baseline=baseline)
+    if args.write_baseline:
+        Baseline.write(baseline_path, report.findings)
+        print(f"wrote {len(report.findings)} entries to {baseline_path} — "
+              "edit the justifications before committing")
+        return 0
+    doc = report.to_doc(list(args.paths))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(render_report(report))
+    if baseline is not None:
+        stale = baseline.stale_entries()
+        for ent in stale:
+            print(f"stale baseline entry (matched nothing): "
+                  f"{ent['rule']} {ent['path']}: {ent['line_text']!r}")
+    return 0 if report.ok else 1
+
+
+def _cmd_sanitize(args) -> int:
+    import json as _json
+
+    from repro.analysis import render_sanitize, run_sanitizer
+
+    transports = (("rdma", "tcp") if args.transport == "both"
+                  else (args.transport,))
+    seeds = tuple(range(1, args.seeds + 1))
+    hash_seeds = tuple(int(h) for h in args.hash_seeds.split(","))
+    doc = run_sanitizer(transports=transports, runtime=args.runtime,
+                        seeds=seeds, hash_seeds=hash_seeds)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(render_sanitize(doc))
+    return 0 if doc["ok"] else 1
 
 
 def _write_perfetto(path: str, collector, sampler, label: str) -> None:
@@ -857,6 +943,12 @@ def main(argv: Optional[list] = None) -> int:
         for name in list_providers():
             print(name)
         return 0
+
+    if args.experiment == "lint":
+        return _cmd_lint(args)
+
+    if args.experiment == "sanitize":
+        return _cmd_sanitize(args)
 
     if args.experiment == "compare":
         return _run_compare(args)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from math import fsum
 import os
 from typing import Dict, List, Optional
 
@@ -157,7 +158,7 @@ def make_run_record(
     from repro.sim.flame import fold_spans, fold_waits
 
     roots = collector.roots()
-    total_root = sum(s.duration for s in roots)
+    total_root = fsum(s.duration for s in roots)
     record = {
         "format": FORMAT,
         "kind": kind,

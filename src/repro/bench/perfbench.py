@@ -375,6 +375,35 @@ def bench_campaign(jobs: int = 4, quick: bool = False, repeat: int = 3,
 # Top level
 # ---------------------------------------------------------------------------
 
+def bench_simlint(repeat: int = 3, warmup: int = 1) -> dict:
+    """Layer 5 — the determinism linter itself.
+
+    Times a full ``simlint`` pass (AST parse + all six SIM rules) over
+    the installed ``repro`` package, so a rule that quietly goes
+    quadratic shows up in BENCH_perf.json before it shows up as a slow
+    CI ``lint-gate``.  ``files_per_sec`` is the gated rate;
+    ``parse_errors`` is a deterministic count gated at zero.
+    ``findings_raw`` (pre-baseline findings) is reported ungated — it
+    legitimately moves as the tree and its suppression baseline evolve.
+    """
+    import os as _os
+
+    import repro
+    from repro.analysis import lint_paths
+
+    pkg_dir = _os.path.dirname(repro.__file__)
+    wall, report = _min_wall(lambda: lint_paths([pkg_dir]), repeat, warmup)
+    assert report is not None
+    return {
+        "files": report.files_checked,
+        "rules": 6,
+        "findings_raw": len(report.findings),
+        "parse_errors": len(report.parse_errors),
+        "wall_s": wall,
+        "files_per_sec": report.files_checked / wall if wall > 0 else 0.0,
+    }
+
+
 def run_perfbench(quick: bool = False, repeat: int = 3, warmup: int = 1
                   ) -> dict:
     """Run all three layers; returns the ``repro-perfbench-v1`` document."""
@@ -389,6 +418,7 @@ def run_perfbench(quick: bool = False, repeat: int = 3, warmup: int = 1
         cells = FIG5_CELLS
         campaign = bench_campaign(jobs=4, quick=False, repeat=repeat)
     fig5 = bench_fig5_cells(cells, repeat=repeat, warmup=warmup)
+    simlint = bench_simlint(repeat=repeat, warmup=warmup)
     doc = {
         "format": FORMAT,
         "quick": bool(quick),
@@ -404,6 +434,7 @@ def run_perfbench(quick: bool = False, repeat: int = 3, warmup: int = 1
         "pipe": pipe,
         "fig5": fig5,
         "campaign": campaign,
+        "simlint": simlint,
         "seed_reference": SEED_REFERENCE,
         "trajectory": TRAJECTORY,
     }
@@ -429,6 +460,7 @@ def _summarize(doc: dict) -> dict:
         "campaign_parallel_speedup_x": camp.get("parallel_speedup_x"),
         "campaign_cached_speedup_x": camp.get("cached_speedup_x"),
         "campaign_records_mismatched": camp.get("records_mismatched"),
+        "simlint_files_per_sec": doc.get("simlint", {}).get("files_per_sec"),
         "note": (
             "fig5_speedup_vs_seed divides the committed seed-reference "
             "wall-clock (recorded on the reference machine) by this "
@@ -459,6 +491,10 @@ _GATED = [
     (("campaign", "cached_cells_per_sec"), "rate"),
     (("campaign", "records_mismatched"), "count"),
     (("campaign", "errors"), "count"),
+    # simlint: throughput absorbs machine noise; a parse error in the
+    # package tree is deterministic breakage, gated at a hard 0.
+    (("simlint", "files_per_sec"), "rate"),
+    (("simlint", "parse_errors"), "count"),
 ]
 
 
@@ -551,6 +587,13 @@ def render_summary(doc: dict) -> str:
             f"cached {c['cached_wall_s'] * 1e3:.1f} ms "
             f"({c['cached_speedup_x']:.0f}x), "
             f"{c['records_mismatched']} mismatched records")
+    s = doc.get("simlint")
+    if s:
+        lines.append(
+            f"  simlint : {s['files']} files in {s['wall_s'] * 1e3:.0f} ms "
+            f"({s['files_per_sec']:.0f} files/s, "
+            f"{s['findings_raw']} raw findings, "
+            f"{s['parse_errors']} parse errors)")
     return "\n".join(lines)
 
 

@@ -251,9 +251,15 @@ def _build_fig5(
     runtime: Optional[float] = None,
     seed: Optional[int] = None,
     n_targets: Optional[int] = None,
+    tie_seed: Optional[int] = None,
 ) -> Tuple[Ros2System, FioJobSpec]:
-    """Assemble the Fig. 5 testbed (fresh environment) and its FIO spec."""
-    env = Environment()
+    """Assemble the Fig. 5 testbed (fresh environment) and its FIO spec.
+
+    ``tie_seed`` puts the kernel in race-sanitizer mode: same-time,
+    same-priority events pop in a seeded pseudo-random permutation
+    instead of FIFO (see :func:`repro.sim.core.tie_scramble`).
+    """
+    env = Environment(tie_seed=tie_seed)
     system = Ros2System(env, Ros2Config(
         transport=provider, client=client, n_ssds=n_ssds,
         n_targets=n_targets, data_mode=False,
@@ -467,6 +473,7 @@ def run_fig5_doctored(
     observe_sampler: bool = True,
     seed: Optional[int] = None,
     n_targets: Optional[int] = None,
+    tie_seed: Optional[int] = None,
 ) -> DoctoredRun:
     """A Fig. 5 cell instrumented for the bottleneck doctor.
 
@@ -482,7 +489,8 @@ def run_fig5_doctored(
 
     system, spec = _build_fig5(provider, client, rw, bs, numjobs,
                                n_ssds=n_ssds, iodepth=iodepth, runtime=runtime,
-                               seed=seed, n_targets=n_targets)
+                               seed=seed, n_targets=n_targets,
+                               tie_seed=tie_seed)
     spec = dataclasses.replace(spec, record_latency=True)
     tracer = WaitTracer(system.env)
     tracer.install()

@@ -37,7 +37,7 @@ _fh_seq = itertools.count(10)
 SERVICE = "ros2.Control"
 
 
-@dataclass
+@dataclass(slots=True)
 class _SessionState:
     session_id: int
     tenant: Tenant

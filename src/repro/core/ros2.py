@@ -25,7 +25,7 @@ from repro.sim.core import Environment, Event
 __all__ = ["Ros2Config", "Ros2System"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Ros2Config:
     """One point in the paper's configuration space."""
 

@@ -21,6 +21,7 @@ bottleneck of Fig. 5, actually show up.
 from __future__ import annotations
 
 import json
+from math import fsum
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
@@ -39,7 +40,7 @@ __all__ = [
 GIB = 2**30
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeReport:
     """Utilization of one node's compute resources."""
 
@@ -52,7 +53,7 @@ class NodeReport:
     port_rx_bytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceReport:
     """One NVMe device's load."""
 
@@ -62,7 +63,7 @@ class DeviceReport:
     write_bytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SystemReport:
     """A full snapshot at one simulated instant."""
 
@@ -259,7 +260,7 @@ def install_probes(system, sampler: Sampler) -> Sampler:
     engine = system.engine
     sampler.add_probe(
         "engine.xstreams.busy",
-        lambda e=engine: sum(t.xstream.busy_time for t in e.targets) / e.n_targets,
+        lambda e=engine: fsum(t.xstream.busy_time for t in e.targets) / e.n_targets,
         kind=UTILIZATION, node=server.name,
     )
     rpc_stats = StationStats("engine.rpc")
@@ -294,7 +295,7 @@ def observe(system, interval: float = 1e-4, capacity: int = 512) -> Sampler:
     return sampler.start()
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseWindow:
     """One named slice of the run's timeline."""
 

@@ -113,7 +113,7 @@ def _mint_token(name: str) -> str:
     return hashlib.sha256(raw).hexdigest()[:32]
 
 
-@dataclass
+@dataclass(slots=True)
 class Tenant:
     """One registered tenant and its policy state."""
 

@@ -103,7 +103,7 @@ class DaosClient:
         return PoolHandle(self, pool, result["n_targets"])
 
 
-@dataclass
+@dataclass(slots=True)
 class PoolHandle:
     """A connected pool."""
 

@@ -17,6 +17,7 @@ spends zero CPU per byte.
 from __future__ import annotations
 
 import zlib
+from math import fsum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -64,19 +65,19 @@ ENGINE_CPU_PER_BYTE = 0.02e-9
 MEDIA_OVERLAP = {"tcp": 0.88, "rdma": 1.0}
 
 
-@dataclass
+@dataclass(slots=True)
 class _Container:
     cont_id: ContainerId
     epoch: int = 0  # highest committed epoch
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pool:
     pool_id: PoolId
     containers: Dict[ContainerId, _Container] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Target:
     index: int
     vos: VersionedObjectStore
@@ -687,4 +688,4 @@ class DaosEngine:
         now = self.env.now
         if now <= 0:
             return 0.0
-        return sum(t.xstream.busy_time for t in self.targets) / (now * self.n_targets)
+        return fsum(t.xstream.busy_time for t in self.targets) / (now * self.n_targets)

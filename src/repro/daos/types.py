@@ -61,7 +61,7 @@ class ObjectClass(Enum):
     EC2P1 = "EC2P1"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PoolId:
     """A pool UUID (compact integer form)."""
 
@@ -71,7 +71,7 @@ class PoolId:
         return f"pool-{self.value:08x}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ContainerId:
     """A container UUID within a pool."""
 
@@ -81,7 +81,7 @@ class ContainerId:
         return f"cont-{self.value:08x}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ObjectId:
     """A 128-bit-style object id: (hi: class/meta, lo: sequence)."""
 

@@ -113,7 +113,7 @@ class StorageNode(ComputeNode):
         self.scm_bytes = int(scm_bytes)
 
 
-@dataclass
+@dataclass(slots=True)
 class ClusterTopology:
     """The assembled testbed handed to the storage/DAOS layers."""
 

@@ -56,7 +56,7 @@ NS = 1e-9  # one nanosecond in seconds
 # NVMe SSD
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NvmeSpec:
     """One NVMe SSD.
 
@@ -100,7 +100,7 @@ NVME_SSD = NvmeSpec()
 # CPU complexes
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HostSpec:
     """A CPU complex (x86 host, BlueField-3 Arm SoC, or storage server).
 
@@ -174,7 +174,7 @@ STORAGE_SERVER = HostSpec(
 # Network
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkSpec:
     """A switched network path between two nodes.
 
@@ -202,7 +202,7 @@ PAPER_LINK = LinkSpec()
 # Transport cost models
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransportCosts:
     """Per-operation and per-byte software costs of one transport.
 
@@ -288,7 +288,7 @@ RDMA_COSTS = TransportCosts(
 # Storage software path costs
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoragePathCosts:
     """Software costs of one storage stack layer (x86 baseline).
 
@@ -353,7 +353,7 @@ DAOS_PATH = StoragePathCosts(
 # GPU generations (paper Table 1)
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GpuSpec:
     """One row of paper Table 1 (representative configurations)."""
 

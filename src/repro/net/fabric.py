@@ -50,7 +50,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProviderInfo:
     """One fabric provider binding."""
 
@@ -95,7 +95,7 @@ def resolve_provider(name: str) -> ProviderInfo:
         ) from None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteRegion:
     """A serializable descriptor of a registered memory window.
 

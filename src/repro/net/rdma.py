@@ -188,7 +188,7 @@ class ProtectionDomain:
         return mr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Completion:
     """One CQ entry."""
 

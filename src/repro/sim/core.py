@@ -52,6 +52,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Environment",
+    "tie_scramble",
 ]
 
 #: Sentinel for an event that has not yet been triggered.
@@ -65,6 +66,30 @@ NORMAL = 1
 #: Upper bound on the Timeout free-list (plenty for the deepest pipelines
 #: while keeping a dormant Environment's footprint trivial).
 _FREELIST_MAX = 128
+
+_TIE_MASK = (1 << 64) - 1
+
+
+def tie_scramble(seed: int) -> Callable[[int], int]:
+    """A seeded bijection on 64-bit ints, used as the heap tie-break key.
+
+    The event heap orders entries by ``(time, priority, key)`` where
+    ``key`` is normally the monotone event sequence number — FIFO among
+    same-time, same-priority events.  The race sanitizer
+    (:mod:`repro.analysis.sanitizer`) replaces ``key`` with this scramble
+    of the sequence number: a pseudo-random *permutation* of the
+    tie-break order, different per seed, with no possibility of key
+    collisions (odd-multiplier modular multiplication is bijective, so
+    heap tuples never fall through to comparing Event objects).  Events
+    at distinct times or priorities are completely unaffected.
+    """
+    salt = (int(seed) * 0x9E3779B1) & _TIE_MASK
+    mult = ((2 * int(seed) + 1) * 0x9E3779B97F4A7C15 | 1) & _TIE_MASK
+
+    def scramble(eid: int, _salt: int = salt, _mult: int = mult) -> int:
+        return ((eid ^ _salt) * _mult) & _TIE_MASK
+
+    return scramble
 
 
 class SimulationError(RuntimeError):
@@ -141,7 +166,10 @@ class Event:
         # the wake-up path of every store/resource grant.
         env = self.env
         env._eid += 1
-        heappush(env._queue, (env._now, priority, env._eid, self))
+        ts = env._tie_scramble
+        heappush(env._queue,
+                 (env._now, priority,
+                  env._eid if ts is None else ts(env._eid), self))
         return self
 
     def _succeed_inline(self, value: Any = None) -> "Event":
@@ -209,7 +237,10 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._eid += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        ts = env._tie_scramble
+        heappush(env._queue,
+                 (env._now + delay, NORMAL,
+                  env._eid if ts is None else ts(env._eid), self))
 
 
 class Initialize(Event):
@@ -223,7 +254,10 @@ class Initialize(Event):
         self._value = None
         self.callbacks.append(process._rcb)
         env._eid += 1
-        heappush(env._queue, (env._now, URGENT, env._eid, self))
+        ts = env._tie_scramble
+        heappush(env._queue,
+                 (env._now, URGENT,
+                  env._eid if ts is None else ts(env._eid), self))
 
 
 class _InterruptEvent(Event):
@@ -457,10 +491,17 @@ class Environment:
     __slots__ = ("_now", "_queue", "_eid", "_active", "_trace_hook",
                  "_trace_subscribers", "_trace_snapshot",
                  "_events_processed", "_tfree", "_timeouts_recycled",
-                 "_wait_tracer")
+                 "_wait_tracer", "_tie_scramble")
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0,
+                 tie_seed: Optional[int] = None) -> None:
         self._now = float(initial_time)
+        #: Tie-break scrambler (race-sanitizer mode) or None.  When set,
+        #: every heap push keys same-time, same-priority events by a
+        #: seeded permutation of the sequence number instead of FIFO —
+        #: the same zero-cost-when-off idiom as ``_trace_hook``.
+        self._tie_scramble: Optional[Callable[[int], int]] = (
+            None if tie_seed is None else tie_scramble(tie_seed))
         self._queue: list = []
         self._eid = 0
         self._active: Optional[Process] = None
@@ -575,7 +616,10 @@ class Environment:
             t._value = value
             t.delay = delay
             self._eid += 1
-            heappush(self._queue, (self._now + delay, NORMAL, self._eid, t))
+            ts = self._tie_scramble
+            heappush(self._queue,
+                     (self._now + delay, NORMAL,
+                      self._eid if ts is None else ts(self._eid), t))
             self._timeouts_recycled += 1
             return t
         return Timeout(self, delay, value)
@@ -609,7 +653,10 @@ class Environment:
         t._value = value
         t.delay = when - now
         self._eid += 1
-        heappush(self._queue, (when, NORMAL, self._eid, t))
+        ts = self._tie_scramble
+        heappush(self._queue,
+                 (when, NORMAL,
+                  self._eid if ts is None else ts(self._eid), t))
         return t
 
     def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
@@ -628,7 +675,10 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Insert ``event`` into the event list ``delay`` seconds from now."""
         self._eid += 1
-        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        ts = self._tie_scramble
+        heappush(self._queue,
+                 (self._now + delay, priority,
+                  self._eid if ts is None else ts(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -32,6 +32,8 @@ e.g.::
 
 from __future__ import annotations
 
+from math import fsum
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -79,7 +81,7 @@ def _metric_delta(base: dict, cur: dict, key: str) -> Optional[dict]:
     return {"base": a, "current": b, "delta": b - a, "rel": rel}
 
 
-@dataclass
+@dataclass(slots=True)
 class DiffDiagnosis:
     """The differential doctor's full output (``repro-diff-v1``)."""
 
@@ -217,14 +219,14 @@ def diff_runs(
         row["share"] = row["delta"] / scale if observed_delta else 0.0
     contributors.sort(key=lambda r: (-abs(r["delta"]), r["resource"]))
 
-    sum_attributed = sum(r["delta"] for r in contributors)
+    sum_attributed = fsum(r["delta"] for r in contributors)
     abs_err = abs(sum_attributed - observed_delta)
     # The error scale must reflect what was summed: when the observed
     # delta is ~0 but the cancelling per-resource deltas are large, the
     # identity's float roundoff is proportional to their magnitude, not
     # to the near-zero delta — without this, two equal runs over big
     # blame totals can "fail" on ~1e-14 of cancellation noise.
-    magnitude = sum(abs(r["delta"]) for r in contributors)
+    magnitude = fsum(abs(r["delta"]) for r in contributors)
     rel_err = abs_err / max(scale, 1e-9 * magnitude)
     checks = {
         "attribution": {

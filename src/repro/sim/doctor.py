@@ -30,6 +30,7 @@ human verdict, e.g.::
 from __future__ import annotations
 
 import re
+from math import fsum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -63,7 +64,7 @@ _SLO_RE = re.compile(
 _UNIT_SCALE = {None: 1.0, "s": 1.0, "ms": 1e-3, "us": 1e-6}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SloRule:
     """One parsed SLO gate, e.g. ``p99 <= 500us``."""
 
@@ -105,7 +106,7 @@ def parse_slo(text: str) -> SloRule:
 # Stations (for the utilization-law check)
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Station:
     """One service station's independently-measured occupancy.
 
@@ -156,7 +157,7 @@ def _p99_root(collector: SpanCollector):
     return roots[idx]
 
 
-@dataclass
+@dataclass(slots=True)
 class Diagnosis:
     """The doctor's full output; ``to_dict`` is the repro-doctor-v1 record."""
 
@@ -253,7 +254,7 @@ def diagnose(
     """
     spec = result.spec
     roots = collector.roots()
-    total_root = sum(s.duration for s in roots)
+    total_root = fsum(s.duration for s in roots)
 
     # -- blame ranking ------------------------------------------------------
     blame = blame_ranking(tracer, total_root)

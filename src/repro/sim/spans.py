@@ -32,6 +32,7 @@ On top of the raw spans sit three analyses:
 from __future__ import annotations
 
 import itertools
+from math import fsum
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -308,7 +309,7 @@ class LatencyBreakdown:
         waits = self.stage_waits.get(stage)
         if not waits:
             return None
-        total = sum(waits.values())
+        total = fsum(waits.values())
         if total <= 0.0:
             return None
         res, secs = min(waits.items(), key=lambda kv: (-kv[1], kv[0]))

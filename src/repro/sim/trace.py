@@ -28,7 +28,7 @@ from repro.sim.core import Environment, Process
 __all__ = ["TraceRecord", "Tracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One processed event."""
 

@@ -1,0 +1,13 @@
+"""Fixture: SIM001 — wall-clock and entropy reads in sim code."""
+
+import random
+import time
+
+
+def stamp_completion(op):
+    op.completed_at = time.time()  # SIM001: host clock
+    return op
+
+
+def pick_offset(extent_size):
+    return random.randrange(extent_size)  # SIM001: unseeded entropy

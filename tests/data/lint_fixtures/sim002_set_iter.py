@@ -1,0 +1,11 @@
+"""Fixture: SIM002 — unordered iteration feeding the scheduler."""
+
+
+def kick_waiters(env, waiters):
+    for ev in set(waiters):  # SIM002: set order feeds scheduling
+        env.schedule(ev)
+
+
+def dump_stats(out, table):
+    for row in table.values():  # SIM002: dict view feeding serialization
+        out.write(str(row))

@@ -1,0 +1,9 @@
+"""Fixture: SIM004 — hot-path dataclass without slots."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Chunk:  # SIM004: per-instance __dict__ on an event-rate path
+    offset: int
+    nbytes: int

@@ -1,0 +1,5 @@
+"""Fixture: SIM005 — order-sensitive float accumulation."""
+
+
+def total_transfer_time(chunks):
+    return sum(c.duration for c in chunks)  # SIM005: use math.fsum

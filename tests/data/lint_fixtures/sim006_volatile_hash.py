@@ -1,0 +1,8 @@
+"""Fixture: SIM006 — volatile field inside run-ID derivation."""
+
+import hashlib
+
+
+def record_hash(record):
+    text = record["created"] + record["git_sha"]  # SIM006: volatile in hash
+    return hashlib.sha256(text.encode()).hexdigest()
