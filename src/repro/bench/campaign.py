@@ -70,7 +70,7 @@ __all__ = [
 
 FORMAT = "repro-campaign-v1"
 
-_EXPERIMENTS = ("fig3", "fig4", "fig5")
+_EXPERIMENTS = ("fig3", "fig4", "fig5", "chaos")
 
 
 # ---------------------------------------------------------------------------
@@ -181,14 +181,18 @@ def normalize_cell(cell: dict) -> dict:
     (and therefore one cache slot).
     """
     experiment = cell.get("experiment", "fig5")
+    if experiment == "fig5" and cell.get("faults") is not None:
+        # A fig5 cell with a fault plan IS a chaos cell: distinct slug,
+        # distinct executor branch, same testbed knobs.
+        experiment = "chaos"
     if experiment not in _EXPERIMENTS:
         raise ValueError(f"unknown experiment {experiment!r}; "
                          f"expected one of {_EXPERIMENTS}")
     from repro.bench.runner import default_iodepth
 
-    bs = _parse_size(cell.get("bs", 4096 if experiment != "fig3" else MIB))
+    bs = _parse_size(cell.get("bs", MIB if experiment == "fig3" else 4096))
     config: dict
-    if experiment == "fig5":
+    if experiment in ("fig5", "chaos"):
         quick = bool(cell.get("quick", True))
         numjobs = cell.get("numjobs")
         if numjobs is None:
@@ -197,7 +201,7 @@ def normalize_cell(cell: dict) -> dict:
         if runtime is None:
             runtime = 0.02 if quick else (0.15 if bs >= MIB else 0.03)
         config = {
-            "experiment": "fig5",
+            "experiment": experiment,
             "transport": cell.get("transport", "tcp"),
             "client": cell.get("client", "dpu"),
             "rw": cell.get("rw", "randread"),
@@ -211,6 +215,19 @@ def normalize_cell(cell: dict) -> dict:
         }
         if cell.get("targets") is not None:
             config["targets"] = int(cell["targets"])
+        if experiment == "chaos":
+            from repro.faults.plan import FaultPlan
+
+            if cell.get("faults") is None:
+                raise ValueError("chaos cells require a 'faults' key "
+                                 "(a FaultPlan config)")
+            # Round-trip through FaultPlan for validation + canonical
+            # event order, so equivalent specs share one config hash.
+            config["faults"] = FaultPlan.from_config(cell["faults"]).to_config()
+            if cell.get("min_goodput") is not None:
+                config["min_goodput"] = float(cell["min_goodput"])
+            if cell.get("p999_max") is not None:
+                config["p999_max"] = float(cell["p999_max"])
     elif experiment == "fig3":
         config = {
             "experiment": "fig3",
@@ -265,6 +282,10 @@ def cell_label(config: dict) -> str:
         return (f"doctor {config['transport']}/{config['client']} "
                 f"{config['rw']} bs={config['bs']} jobs={config['numjobs']} "
                 f"ssds={config['ssds']}")
+    if experiment == "chaos":
+        return (f"chaos {config['transport']}/{config['client']} "
+                f"{config['rw']} bs={config['bs']} jobs={config['numjobs']} "
+                f"ssds={config['ssds']}")
     if experiment == "fig3":
         return (f"fig3 {config['rw']} bs={config['bs']} "
                 f"jobs={config['numjobs']} ssds={config['ssds']}")
@@ -284,6 +305,32 @@ def execute_cell(config: dict) -> dict:
     worker ran them or when they finished.
     """
     experiment = config["experiment"]
+    if experiment == "chaos":
+        from repro.bench.chaos import (
+            DEFAULT_MIN_GOODPUT,
+            DEFAULT_P999_MAX,
+            chaos_sections,
+        )
+        from repro.bench.runner import run_fig5_chaos
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.from_config(config["faults"])
+        chaos = run_fig5_chaos(
+            config["transport"], config["client"], config["rw"],
+            config["bs"], config["numjobs"], plan, n_ssds=config["ssds"],
+            iodepth=config["iodepth"], runtime=config["runtime"],
+            sample_every=config["sample_every"],
+            seed=config.get("seed"), n_targets=config.get("targets"),
+        )
+        run = chaos.run
+        sections = chaos_sections(
+            run.result, chaos.stats, plan, tracer=run.tracer,
+            min_goodput=config.get("min_goodput", DEFAULT_MIN_GOODPUT),
+            p999_max=config.get("p999_max", DEFAULT_P999_MAX))
+        return lg.make_run_record(
+            run.result, run.collector, run.tracer, config=config,
+            label=cell_label(config), kind="chaos",
+            extra_sections={"chaos": sections})
     if experiment == "fig5":
         from repro.bench.runner import run_fig5_doctored
 

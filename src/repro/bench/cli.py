@@ -266,6 +266,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a Chrome trace overlaying both runs' wait "
                          "counter tracks (requires --against)")
 
+    pch = sub.add_parser(
+        "chaos",
+        help="fault-injected run: deterministic fault plan, retry/recovery "
+             "telemetry, availability verdict (repro-chaos-v1)",
+    )
+    pch.add_argument("--transport", default="rdma")
+    pch.add_argument("--client", default="dpu", choices=["host", "dpu"])
+    pch.add_argument("--rw", default="randread",
+                     choices=["read", "write", "randread", "randwrite"])
+    pch.add_argument("--bs", type=parse_size, default=4096)
+    pch.add_argument("--jobs", type=int, default=None,
+                     help="FIO numjobs (default: 8 for >=1 MiB blocks, "
+                          "16 below)")
+    pch.add_argument("--ssds", type=int, default=1, choices=[1, 2, 3, 4])
+    pch.add_argument("--runtime", type=float, default=None)
+    pch.add_argument("--sample", type=int, default=20,
+                     help="trace 1 in N operations (default 20)")
+    pch.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                     help="fault event KIND:TARGET:AT[:DURATION[:FACTOR]] "
+                          "(times relative to the measured window); "
+                          "repeatable; default: a mid-run qp_break on the "
+                          "client QP")
+    pch.add_argument("--seed-key", default="chaos",
+                     help="seed key for the plan's deterministic backoff "
+                          "jitter (default 'chaos')")
+    pch.add_argument("--min-goodput", type=float, default=None,
+                     help="measured-window success-ratio floor "
+                          "(default 0.95)")
+    pch.add_argument("--p999-max", type=float, default=None,
+                     help="p99.9 latency ceiling in seconds (default 0.05)")
+    pch.add_argument("--json-out", metavar="PATH", default=None,
+                     help="write the repro-chaos-v1 verdict document")
+    pch.add_argument("--wait-flame", metavar="PATH", default=None,
+                     help="write the wait-time flamegraph (fault: leaves "
+                          "show recovery backoff blame)")
+    _add_ledger_args(pch)
+
     pp = sub.add_parser(
         "perf",
         help="wall-clock perf harness: kernel events/s, pipe coalescing, "
@@ -796,6 +833,80 @@ def _run_doctor(args) -> int:
     return diag.exit_code
 
 
+def _run_chaos(args) -> int:
+    from repro.bench import chaos as ch
+    from repro.bench.runner import run_fig5_chaos
+    from repro.faults.plan import FaultPlan, parse_fault_spec
+    from repro.faults.retry import RetryPolicy
+
+    numjobs = args.jobs
+    if numjobs is None:
+        numjobs = 8 if args.bs >= 1024**2 else 16
+    runtime = args.runtime
+    if runtime is None:
+        runtime = 0.15 if args.bs >= 1024**2 else 0.03
+    if args.fault:
+        try:
+            events = tuple(parse_fault_spec(s) for s in args.fault)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        plan = FaultPlan(events=events, policy=RetryPolicy(),
+                         seed_key=args.seed_key)
+    else:
+        plan = ch.default_qp_break_plan(args.client, runtime)
+    label = (f"chaos {args.transport}/{args.client} {args.rw} bs={args.bs} "
+             f"jobs={numjobs} ssds={args.ssds}")
+
+    run = run_fig5_chaos(
+        args.transport, args.client, args.rw, args.bs, numjobs, plan,
+        n_ssds=args.ssds, runtime=runtime, sample_every=args.sample,
+    )
+    config = _fig5_run_config(args.transport, args.client, run.run.spec,
+                              args.ssds, args.sample)
+    config["experiment"] = "chaos"
+    config["faults"] = plan.to_config()
+    doc = ch.make_chaos_report(
+        run, config, label=label,
+        min_goodput=(args.min_goodput if args.min_goodput is not None
+                     else ch.DEFAULT_MIN_GOODPUT),
+        p999_max=(args.p999_max if args.p999_max is not None
+                  else ch.DEFAULT_P999_MAX))
+
+    print(f"{label}: {_report(run.run.result)}")
+    print(ch.render_chaos(doc))
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote chaos verdict {args.json_out}")
+    if args.wait_flame:
+        from repro.sim.flame import fold_waits, write_collapsed
+
+        folded = fold_waits(run.run.collector.spans, run.run.tracer.records)
+        write_collapsed(args.wait_flame, folded)
+        print(f"wrote wait flamegraph {args.wait_flame} "
+              f"({len(folded)} stacks)")
+    if args.ledger:
+        from repro.bench import ledger as lg
+        from repro.bench.campaign import code_fingerprint
+
+        sections = {k: doc[k] for k in
+                    ("faults", "recovery", "conservation", "availability",
+                     "checks", "ok", "fault_blame") if k in doc}
+        record = lg.make_run_record(
+            run.run.result, run.run.collector, run.run.tracer,
+            config=config, label=label, kind="chaos",
+            git_sha=_git_sha(args), created=_now_iso(),
+            code_fingerprint=code_fingerprint(),
+            extra_sections={"chaos": sections})
+        path = lg.save_run(record, _ledger_dir(args))
+        print(f"ledger: recorded {record['run_id']} -> {path}")
+    return 0 if doc["ok"] else 1
+
+
 def _run_campaign(args) -> int:
     import json
 
@@ -970,6 +1081,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.experiment == "doctor":
         return _run_doctor(args)
+
+    if args.experiment == "chaos":
+        return _run_chaos(args)
 
     if args.experiment == "fig3":
         result = run_fig3_cell(args.rw, args.bs, args.jobs, n_ssds=args.ssds,

@@ -147,6 +147,7 @@ def make_run_record(
     code_fingerprint: Optional[str] = None,
     include_series: bool = True,
     series_points_cap: int = 96,
+    extra_sections: Optional[dict] = None,
 ) -> dict:
     """Reduce an instrumented run into one ``repro-run-v1`` record.
 
@@ -154,6 +155,11 @@ def make_run_record(
     ``collector``/``tracer`` are the span collector and wait tracer that
     observed the run (both required — the ledger exists to feed delta
     attribution, which needs blame and flame data).
+
+    ``extra_sections`` merges additional top-level sections into the
+    record (e.g. the chaos harness's recovery/availability verdicts);
+    they are content-hashed like everything else, so the determinism
+    gate covers them byte-for-byte.
     """
     from repro.sim.flame import fold_spans, fold_waits
 
@@ -191,6 +197,12 @@ def make_run_record(
                       "points": _pack_points(ts, series_points_cap)}
             for ts in tracer.wait_series()
         }
+    if extra_sections:
+        for key, value in extra_sections.items():
+            if key in record:
+                raise ValueError(f"extra section {key!r} collides with a "
+                                 f"standard record field")
+            record[key] = value
     return _finish_record(record)
 
 

@@ -34,9 +34,11 @@ __all__ = [
     "run_fig5_traced",
     "run_fig5_observed",
     "run_fig5_doctored",
+    "run_fig5_chaos",
     "doctor_stations",
     "ObservedRun",
     "DoctoredRun",
+    "ChaosRun",
     "run_ros2_fio",
     "default_iodepth",
 ]
@@ -252,14 +254,22 @@ def _build_fig5(
     seed: Optional[int] = None,
     n_targets: Optional[int] = None,
     tie_seed: Optional[int] = None,
+    fault_plan=None,
 ) -> Tuple[Ros2System, FioJobSpec]:
     """Assemble the Fig. 5 testbed (fresh environment) and its FIO spec.
 
     ``tie_seed`` puts the kernel in race-sanitizer mode: same-time,
     same-priority events pop in a seeded pseudo-random permutation
     instead of FIFO (see :func:`repro.sim.core.tie_scramble`).
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) is installed
+    *before* the system is built so every channel, engine and node
+    self-registers with the injector; :func:`~repro.workload.fio.run_fio`
+    arms it when the measured window opens.
     """
     env = Environment(tie_seed=tie_seed)
+    if fault_plan is not None:
+        fault_plan.install(env)
     system = Ros2System(env, Ros2Config(
         transport=provider, client=client, n_ssds=n_ssds,
         n_targets=n_targets, data_mode=False,
@@ -474,6 +484,7 @@ def run_fig5_doctored(
     seed: Optional[int] = None,
     n_targets: Optional[int] = None,
     tie_seed: Optional[int] = None,
+    fault_plan=None,
 ) -> DoctoredRun:
     """A Fig. 5 cell instrumented for the bottleneck doctor.
 
@@ -490,7 +501,7 @@ def run_fig5_doctored(
     system, spec = _build_fig5(provider, client, rw, bs, numjobs,
                                n_ssds=n_ssds, iodepth=iodepth, runtime=runtime,
                                seed=seed, n_targets=n_targets,
-                               tie_seed=tie_seed)
+                               tie_seed=tie_seed, fault_plan=fault_plan)
     spec = dataclasses.replace(spec, record_latency=True)
     tracer = WaitTracer(system.env)
     tracer.install()
@@ -508,3 +519,61 @@ def run_fig5_doctored(
     return DoctoredRun(result=result, collector=collector, tracer=tracer,
                        sampler=sampler, stations=stations, system=system,
                        spec=spec)
+
+
+# ---------------------------------------------------------------------------
+# Chaos — Fig. 5 cells under a fault plan
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChaosRun:
+    """A doctored Fig. 5 cell run under fault injection, fully drained.
+
+    ``stats`` is the injector's :class:`~repro.faults.plan.FaultStats`
+    after every lane exited, so conservation (``submitted == completed +
+    failed``) holds by construction if no operation was lost.
+    """
+
+    run: DoctoredRun
+    plan: "object"   # FaultPlan (avoid a bench->faults type cycle here)
+    stats: "object"  # FaultStats
+
+
+def run_fig5_chaos(
+    provider: str,
+    client: str,
+    rw: str,
+    bs: int,
+    numjobs: int,
+    fault_plan,
+    n_ssds: int = 1,
+    iodepth: Optional[int] = None,
+    runtime: Optional[float] = None,
+    sample_every: int = 20,
+    seed: Optional[int] = None,
+    n_targets: Optional[int] = None,
+    tie_seed: Optional[int] = None,
+) -> ChaosRun:
+    """A Fig. 5 cell with a :class:`~repro.faults.plan.FaultPlan` active.
+
+    Exactly :func:`run_fig5_doctored` plus: the plan is installed before
+    the system is built, and after FIO raises its stop flag the event
+    heap is drained *to empty* so every in-flight operation — including
+    ones mid-retry-backoff — either completes or fails.  That makes the
+    conservation check exact rather than a race against a drain window.
+    """
+    run = run_fig5_doctored(
+        provider, client, rw, bs, numjobs,
+        n_ssds=n_ssds, iodepth=iodepth, runtime=runtime,
+        sample_every=sample_every, observe_sampler=False,
+        seed=seed, n_targets=n_targets, tie_seed=tie_seed,
+        fault_plan=fault_plan,
+    )
+    env = run.system.env
+    # Drain: lanes saw the stop flag but may be parked in backoff sleeps
+    # or deadline waits; servers park on empty stores (no heap entries),
+    # so running the heap dry terminates and settles every lane.
+    env.run()
+    fx = env._faults
+    fx.stats.degraded_reads = run.system.engine.degraded_reads
+    return ChaosRun(run=run, plan=fault_plan, stats=fx.stats)

@@ -80,6 +80,12 @@ class SystemReport:
     #: IOs gives the events/IO figure the perf harness gates on.
     sim_events_processed: int = 0
     sim_timeouts_recycled: int = 0
+    #: Recovery counters (DESIGN.md §14): all zero unless a fault plan
+    #: was installed, so no-fault reports are unchanged.
+    retries: int = 0
+    reconnects: int = 0
+    degraded_reads: int = 0
+    fault_downtime: float = 0.0
 
     def busiest_component(self) -> str:
         """Name of the most utilized station (a bottleneck hint).
@@ -146,6 +152,14 @@ class SystemReport:
             f"{self.sim_timeouts_recycled} timeouts recycled\n"
             f"bottleneck hint: {self.busiest_component()}"
         )
+        if (self.retries or self.reconnects or self.degraded_reads
+                or self.fault_downtime):
+            tail += (
+                f"\nrecovery: {self.retries} retries, "
+                f"{self.reconnects} reconnects, "
+                f"{self.degraded_reads} degraded reads, "
+                f"{self.fault_downtime * 1e3:.2f} ms fault downtime"
+            )
         return nodes.render() + "\n\n" + devs.render() + "\n\n" + tail
 
 
@@ -181,6 +195,12 @@ def snapshot(system) -> SystemReport:
             write_bytes=dev.writes.bytes,
         ))
     report.xstream_utilization = system.engine.xstream_utilization()
+    report.degraded_reads = system.engine.degraded_reads
+    fx = env._faults
+    if fx is not None:
+        report.retries = fx.stats.retries
+        report.reconnects = fx.stats.reconnects
+        report.fault_downtime = fx.stats.fault_downtime
     dp = system.service.data_plane
     report.data_plane_read_bytes = dp.reads.bytes
     report.data_plane_write_bytes = dp.writes.bytes

@@ -23,8 +23,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.daos.engine import INLINE_THRESHOLD
-from repro.daos.rpc import RpcClient
+from repro.daos.rpc import RPC_REQUEST_BYTES, RpcClient
 from repro.daos.types import ContainerId, DaosError, ObjectClass, ObjectId, PoolId
+from repro.faults.errors import FaultInjectedError
+from repro.faults.retry import backoff_delay, is_retryable, remaining_budget
+from repro.net.rdma import RdmaError
 from repro.hw.platform import ComputeNode
 from repro.hw.specs import DAOS_PATH, StoragePathCosts
 from repro.net.fabric import FabricChannel, RemoteRegion
@@ -53,6 +56,7 @@ class DaosClient:
         self.rpc = RpcClient(node, channel).start()
         self._progress = node.lock("daos_progress")
         self._threads = 0
+        self._io_seq = 0
         self._window: Optional[RemoteRegion] = None
         if not data_mode:
             self._window = channel.register(node.name, bulk_window_bytes)
@@ -93,6 +97,77 @@ class DaosClient:
         result = yield from self.rpc.call(opcode, args)
         yield from self._post(ctx)
         return result
+
+    def _call_io(
+        self,
+        opcode: str,
+        args: Dict[str, Any],
+        req_nbytes: int = RPC_REQUEST_BYTES,
+        trace: Any = None,
+        idempotent: bool = True,
+    ) -> Generator[Event, None, Any]:
+        """One data-path RPC with recovery semantics (ISSUE 10).
+
+        With no fault plan installed this is a zero-overhead passthrough
+        to :meth:`RpcClient.call`.  Under chaos each attempt carries the
+        policy's per-op deadline; retryable failures back off with
+        deterministic jitter (blamed on ``fault:{resource}`` when a
+        tracer is installed), repair the transport, and try again until
+        the attempt cap or the whole-op budget runs out.  Non-idempotent
+        ops (writes) never retry after an ambiguous timeout.
+        """
+        env = self.env
+        fx = env._faults
+        if fx is None:
+            result = yield from self.rpc.call(
+                opcode, args, req_nbytes=req_nbytes, trace=trace
+            )
+            return result
+        policy = fx.plan.policy
+        self._io_seq += 1
+        key = f"{fx.plan.seed_key}:{self.node.name}:io{self._io_seq}"
+        started = env.now
+        attempt = 0
+        while True:
+            attempt += 1
+            # The per-op deadline exists to catch replies lost inside a
+            # fault window; faults cannot fire before the plan is armed,
+            # so setup/prefill traffic (32-wide MiB writes whose queueing
+            # delay dwarfs the policy timeout) runs without one.
+            deadline = (policy.op_timeout
+                        if policy.op_timeout > 0 and fx.armed_at is not None
+                        else None)
+            try:
+                result = yield from self.rpc.call(
+                    opcode, args, req_nbytes=req_nbytes, trace=trace,
+                    deadline=deadline,
+                )
+                return result
+            except (DaosError, FaultInjectedError, RdmaError,
+                    ConnectionError) as exc:
+                if not is_retryable(exc, idempotent=idempotent):
+                    raise
+                if attempt >= policy.max_attempts:
+                    raise
+                budget = remaining_budget(policy, started, env.now)
+                if budget is not None and budget <= 0.0:
+                    raise
+                fx.stats.retries += 1
+                delay = backoff_delay(policy, attempt, key)
+                if budget is not None and delay > budget:
+                    delay = budget
+                wt = env._wait_tracer
+                if wt is not None:
+                    # The backoff sleep is downtime caused by the fault,
+                    # not an anonymous sleep: blame it on the faulted
+                    # resource so the doctor surfaces ``fault:{name}``.
+                    wt.reserve(f"fault:{fx.fault_resource()}", delay, 0.0)
+                yield env.timeout(delay)
+                try:
+                    self.channel.ensure_connected()
+                except (RdmaError, ConnectionError):
+                    # Still inside the fault window; keep backing off.
+                    continue
 
     # -- handles ---------------------------------------------------------------------
     def connect_pool(
@@ -219,8 +294,8 @@ class ObjectHandle:
 
         # Inline payloads ride the request capsule on the wire.
         req_nbytes = 220 + (nbytes if window is None else 0)
-        result = yield from client.rpc.call("obj_update", args, req_nbytes=req_nbytes,
-                                            trace=trace)
+        result = yield from client._call_io("obj_update", args, req_nbytes=req_nbytes,
+                                            trace=trace, idempotent=False)
         yield from client._post(ctx, trace=trace)
         if window is not None and client.data_mode:
             client.channel.deregister(window)
@@ -255,7 +330,8 @@ class ObjectHandle:
                 window = client._window
             args["region"] = window
 
-        result = yield from client.rpc.call("obj_fetch", args, trace=trace)
+        result = yield from client._call_io("obj_fetch", args, trace=trace,
+                                            idempotent=True)
         yield from client._post(ctx, trace=trace)
         if window is not None and client.data_mode:
             client.channel.deregister(window)

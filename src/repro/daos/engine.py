@@ -127,8 +127,14 @@ class DaosEngine:
         #: the cached objects, so entries never go stale.  This removes an
         #: f-string + CRC32 from every data-path RPC.
         self._place_cache: Dict[tuple, List[_Target]] = {}
+        #: Reads served from a surviving replica or by EC reconstruction
+        #: while a target was down (surfaced in ``SystemReport``).
+        self.degraded_reads = 0
         self.rpc = RpcServer(node)
         self._register_handlers()
+        fx = self.env._faults
+        if fx is not None:
+            fx.register_engine(self)
 
     # -- administration (local API, also callable via RPC) ---------------------
     def create_pool(self) -> PoolId:
@@ -462,7 +468,11 @@ class DaosEngine:
             return result
 
         # Served by the first live replica (primary unless failed over).
-        target = self.live_replicas(oid, dkey)[0]
+        live = self.live_replicas(oid, dkey)
+        if live is not self.replicas_for(oid, dkey):
+            # Failover filtered the placement: this read is degraded.
+            self.degraded_reads += 1
+        target = live[0]
         span = trace.child("engine.xstream", node=self.node.name, nbytes=nbytes) if trace is not None else None
         yield target.xstream.run(
             ENGINE_CPU_PER_OP + ENGINE_CPU_PER_BYTE * nbytes
@@ -557,6 +567,7 @@ class DaosEngine:
             results = yield self.env.all_of([p0, p1])
             data = erasure.interleave(results[p0], results[p1])
         else:
+            self.degraded_reads += 1
             alive = d_targets[1] if down[0] else d_targets[0]
             pa, pp = read_from(alive), read_from(p_target)
             results = yield self.env.all_of([pa, pp])
@@ -638,7 +649,10 @@ class DaosEngine:
     def _h_kv_get(self, args, src, channel):
         cont = self._cont(args["pool"], args["cont"])
         epoch = args.get("epoch", cont.epoch)
-        target = self.live_replicas(args["oid"], args["dkey"])[0]
+        live = self.live_replicas(args["oid"], args["dkey"])
+        if live is not self.replicas_for(args["oid"], args["dkey"]):
+            self.degraded_reads += 1
+        target = live[0]
         yield target.xstream.run(ENGINE_CPU_PER_OP)
         value = yield from target.vos.kv_get(
             args["cont"], args["oid"], args["dkey"], args["akey"], epoch

@@ -19,12 +19,14 @@ import itertools
 from typing import Any, Callable, Dict, Generator, Optional
 
 from repro.daos.types import DaosError
+from repro.faults.errors import FaultInjectedError
 from repro.hw.platform import ComputeNode
 from repro.net.fabric import FabricChannel
 from repro.net.message import Message
+from repro.net.rdma import RdmaError
 from repro.sim.core import Environment, Event, Process
 
-__all__ = ["RpcError", "RpcServer", "RpcClient", "RPC_REQUEST_BYTES"]
+__all__ = ["RpcError", "RpcTimeout", "RpcServer", "RpcClient", "RPC_REQUEST_BYTES"]
 
 #: Wire size of a request/response capsule (opcode, ids, keys, descriptor).
 RPC_REQUEST_BYTES = 220
@@ -32,7 +34,43 @@ RPC_REPLY_BYTES = 96
 
 
 class RpcError(DaosError):
-    """An RPC failed on the server; carries the remote error text."""
+    """An RPC failed on the server; carries the remote error text.
+
+    ``remote_error`` is the raw server-side message; ``op``, ``target``
+    and ``sim_time`` locate the failure so chaos reports and the retry
+    classifier can act on it without string-parsing the whole message.
+    """
+
+    def __init__(
+        self,
+        remote_error: str,
+        op: Optional[str] = None,
+        target: Optional[str] = None,
+        sim_time: Optional[float] = None,
+    ) -> None:
+        self.remote_error = remote_error
+        self.op = op
+        self.target = target
+        self.sim_time = sim_time
+        message = remote_error
+        if op is not None or target is not None:
+            context = " ".join(
+                part for part in (
+                    f"op={op}" if op is not None else None,
+                    f"target={target}" if target is not None else None,
+                    f"t={sim_time:.6f}" if sim_time is not None else None,
+                ) if part is not None
+            )
+            message = f"{remote_error} [{context}]"
+        super().__init__(message)
+
+
+class RpcTimeout(RpcError):
+    """A call's per-attempt deadline expired before the reply arrived.
+
+    Ambiguous by nature — the server may or may not have executed the
+    op — so only idempotent operations may retry after one.
+    """
 
 
 class RpcServer:
@@ -98,7 +136,7 @@ class RpcServer:
             args = msg.payload.get("args", {})
             handler = self._handlers.get(opcode)
             if handler is None:
-                yield from channel.send(msg.reply_to(
+                yield from self._send_reply(channel, msg.reply_to(
                     kind="rpc.rep",
                     payload={"status": "error",
                              "error": f"unknown opcode {opcode!r}"},
@@ -116,10 +154,14 @@ class RpcServer:
                 args["_trace"] = span
             try:
                 result = yield from handler(args, msg.src, channel)
-            except DaosError as exc:
+            except (DaosError, FaultInjectedError, RdmaError, ConnectionError) as exc:
+                # DaosError is the normal application-error path; the
+                # other three surface mid-handler when a fault window
+                # breaks the transport or the device under it — the
+                # handler must not die, or the engine stops serving.
                 if span is not None:
                     span.finish()
-                yield from channel.send(msg.reply_to(
+                yield from self._send_reply(channel, msg.reply_to(
                     kind="rpc.rep",
                     payload={"status": "error",
                              "error": f"{type(exc).__name__}: {exc}"},
@@ -134,7 +176,7 @@ class RpcServer:
             if isinstance(result, dict):
                 wire_extra = int(result.pop("_wire", 0))
             self.requests_served += 1
-            yield from channel.send(msg.reply_to(
+            yield from self._send_reply(channel, msg.reply_to(
                 kind="rpc.rep",
                 payload={"status": "ok", "result": result},
                 nbytes=RPC_REPLY_BYTES + wire_extra,
@@ -143,6 +185,22 @@ class RpcServer:
             self.inflight -= 1
             if st is not None:
                 st.depart(self.env.now - t0)
+
+    def _send_reply(self, channel: FabricChannel, reply: Message):
+        """Send a reply; under fault injection a dead transport drops it.
+
+        The client's deadline/retry machinery recovers the op — exactly
+        what happens when a real server's reply hits a broken QP.
+        Without an installed fault plan transport failures are genuine
+        bugs and propagate.
+        """
+        try:
+            yield from channel.send(reply)
+        except (RdmaError, ConnectionError):
+            fx = self.env._faults
+            if fx is None:
+                raise
+            fx.stats.replies_dropped += 1
 
 
 class RpcClient:
@@ -178,12 +236,16 @@ class RpcClient:
         args: Dict[str, Any],
         req_nbytes: int = RPC_REQUEST_BYTES,
         trace: Any = None,
+        deadline: Optional[float] = None,
     ) -> Generator[Event, None, Any]:
         """Issue one RPC; returns the handler result or raises RpcError.
 
         ``trace`` (a parent :class:`~repro.sim.spans.Span`) rides in the
         request capsule's metadata — the analog of CaRT's hlc/trace fields
         — so the server and both transport legs can attach child spans.
+        ``deadline`` bounds the wait for the reply; on expiry the call
+        raises :class:`RpcTimeout` and a late reply is dropped by the
+        demux (its tag is no longer pending).
         """
         if self._demux is None:
             raise RuntimeError("RpcClient not started; call start() first")
@@ -191,21 +253,47 @@ class RpcClient:
         done = self.env.event()
         self._pending[tag] = done
         span = trace.child(f"rpc[{opcode}]", node=self.node.name) if trace is not None else None
-        yield from self.channel.send(Message(
-            src=self.node.name,
-            dst=self.server_name,
-            kind="rpc.req",
-            tag=tag,
-            payload={"op": opcode, "args": args},
-            nbytes=req_nbytes,
-            meta={"trace": span} if span is not None else {},
-        ))
-        reply = yield done
+        try:
+            yield from self.channel.send(Message(
+                src=self.node.name,
+                dst=self.server_name,
+                kind="rpc.req",
+                tag=tag,
+                payload={"op": opcode, "args": args},
+                nbytes=req_nbytes,
+                meta={"trace": span} if span is not None else {},
+            ))
+        except BaseException:
+            # The request never reached the server; forget the tag so the
+            # pending map cannot leak across retries.
+            self._pending.pop(tag, None)
+            if span is not None:
+                span.finish()
+            raise
+        if deadline is None:
+            reply = yield done
+        else:
+            fired = yield self.env.any_of((done, self.env.timeout(deadline)))
+            if done not in fired:
+                self._pending.pop(tag, None)
+                if span is not None:
+                    span.finish()
+                fx = self.env._faults
+                if fx is not None:
+                    fx.stats.timeouts += 1
+                raise RpcTimeout(
+                    f"no reply within {deadline:g}s",
+                    op=opcode, target=self.server_name, sim_time=self.env.now,
+                )
+            reply = fired[done]
         if span is not None:
             span.finish()
         body = reply.payload
         if body["status"] != "ok":
-            raise RpcError(body.get("error", "remote failure"))
+            raise RpcError(
+                body.get("error", "remote failure"),
+                op=opcode, target=self.server_name, sim_time=self.env.now,
+            )
         return body.get("result")
 
     def shutdown_server(self) -> Generator[Event, None, None]:

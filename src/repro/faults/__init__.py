@@ -1,0 +1,38 @@
+"""Deterministic virtual-time fault injection (ISSUE 10).
+
+A :class:`~repro.faults.plan.FaultPlan` is a schedule of typed fault
+events — QP breaks, TCP resets, NVMe media errors and latency spikes,
+engine crashes, DPU Arm-core stalls — installed into the simulation
+:class:`~repro.sim.core.Environment` with the same zero-cost-when-off
+hook pattern the tracers use: components test ``env._faults is not
+None`` once on their hot path and pay nothing when chaos is off.
+
+Recovery semantics (deadline timeouts, capped exponential backoff with
+deterministic jitter, idempotent retries, QP reconnects, degraded
+reads) live in the client/RPC layers and report their activity through
+:class:`~repro.faults.plan.FaultStats`, surfaced in ``SystemReport``
+and blamed by the doctor as ``fault:{resource}`` wait causes.
+"""
+
+from repro.faults.errors import FaultInjectedError, NvmeMediaError
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
+from repro.faults.retry import RetryPolicy, backoff_delay, is_retryable
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjectedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "NvmeMediaError",
+    "RetryPolicy",
+    "backoff_delay",
+    "is_retryable",
+]

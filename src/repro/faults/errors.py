@@ -1,0 +1,22 @@
+"""Leaf exception types for injected faults.
+
+Kept free of imports so any layer (hw, net, daos) can raise or catch
+them without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultInjectedError", "NvmeMediaError"]
+
+
+class FaultInjectedError(Exception):
+    """Base class for failures manufactured by the fault injector.
+
+    Distinguishes deliberate chaos from genuine model bugs: recovery
+    code retries these; test assertions that no *unexpected* exception
+    escaped can filter on the type.
+    """
+
+
+class NvmeMediaError(FaultInjectedError):
+    """An injected NVMe read/write media error (unrecoverable LBA)."""

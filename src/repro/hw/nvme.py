@@ -59,6 +59,19 @@ class NvmeDevice:
             service = max(nbytes / (spec.write_bw * bw_efficiency), 1.0 / spec.write_iops_cap)
         else:
             service = max(nbytes / (spec.read_bw * bw_efficiency), 1.0 / spec.read_iops_cap)
+        fx = self.env._faults
+        if fx is not None:
+            name = self._server.name
+            if fx.active("nvme_media_error", name) is not None:
+                from repro.faults.errors import NvmeMediaError
+
+                raise NvmeMediaError(
+                    f"{name}: injected media error on "
+                    f"{'write' if is_write else 'read'} of {nbytes} bytes"
+                )
+            spike = fx.active("nvme_latency_spike", name)
+            if spike is not None:
+                service *= spike.factor
         span = None
         if trace is not None:
             span = trace.child("nvme", node=f"nvme{self.index}", nbytes=nbytes)

@@ -61,6 +61,9 @@ class Node:
         )
         self.dram = DramPool(env, spec.dram_bytes, name=f"{name}.dram")
         self._locks: Dict[str, SerializedSection] = {}
+        fx = env._faults
+        if fx is not None:
+            fx.register_node(self)
 
     def lock(self, name: str) -> SerializedSection:
         """Get or create the named host-wide serialized section."""

@@ -31,6 +31,7 @@ from repro.net.rdma import (
     ProtectionDomain,
     QueuePair,
     RdmaDevice,
+    RdmaError,
 )
 from repro.net.tcp import TcpConnection, TcpStack
 from repro.sim.core import Environment, Event
@@ -125,6 +126,16 @@ class FabricChannel:
                 return n
         raise KeyError(name)
 
+    def ensure_connected(self) -> bool:
+        """Repair the channel after a transport fault if possible.
+
+        Returns True when a reconnect was performed.  The base transport
+        needs none (TCP reset windows clear on their own); the verbs
+        channel replaces errored QPs.  Raises when the channel is still
+        inside an active fault window (caller backs off and retries).
+        """
+        return False
+
     # Interface -------------------------------------------------------------
     def send(self, msg: Message) -> Generator[Event, None, None]:
         """Deliver ``msg`` to the peer's inbox (two-sided)."""
@@ -183,6 +194,14 @@ class TcpChannel(FabricChannel):
         self._regions: Dict[int, Tuple[str, Optional[Any], int, Optional[float], bool]] = {}
         self._next_key = 0x7000
         self._next_addr = 0x20_0000_0000
+        fx = self.env._faults
+        if fx is not None:
+            for name in self.nodes:
+                fx.register_channel(f"{name}.tcp", self)
+
+    def reset(self, duration: float) -> None:
+        """Injected TCP reset: sends fail until the window passes."""
+        self._conn.reset(duration)
 
     def send(self, msg: Message) -> Generator[Event, None, None]:
         # Plain delegation: return the connection's generator directly
@@ -290,6 +309,45 @@ class RdmaChannel(FabricChannel):
             b.name: Store(self.env, name=f"{b.name}.fabric_inbox"),
         }
         self._mrs: Dict[int, MemoryRegion] = {}
+        fx = self.env._faults
+        if fx is not None:
+            for name in self.nodes:
+                fx.register_channel(f"{name}.qp", self)
+
+    # -- fault handling ------------------------------------------------------
+    def break_qps(self, reason: str) -> None:
+        """Transition both QPs of the pair to the error state (CQ flush)."""
+        for qp in self.qps.values():
+            qp.transition_to_error(reason)
+
+    def ensure_connected(self) -> bool:
+        """Replace errored QPs with fresh ones in the same PDs.
+
+        RC QPs cannot leave the error state in place; recovery creates
+        new QPs (existing MRs and rkeys survive — they belong to the
+        PDs).  Refuses while a ``qp_break`` fault window is still active
+        on either endpoint, so retries keep backing off until the
+        injected outage ends.
+        """
+        if all(qp.error is None for qp in self.qps.values()):
+            return False
+        fx = self.env._faults
+        if fx is not None:
+            for name in self.nodes:
+                ev = fx.active("qp_break", f"{name}.qp")
+                if ev is not None:
+                    raise RdmaError(
+                        f"cannot reconnect {name}.qp: fault window active"
+                    )
+        names = list(self.nodes)
+        fresh = {
+            name: self.devices[name].create_qp(self.pds[name]) for name in names
+        }
+        fresh[names[0]].connect(fresh[names[1]])
+        self.qps = fresh
+        if fx is not None:
+            fx.stats.reconnects += 1
+        return True
 
     def send(self, msg: Message) -> Generator[Event, None, None]:
         qp = self.qps[msg.src]

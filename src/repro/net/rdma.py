@@ -241,6 +241,9 @@ class QueuePair:
         self.send_cq = send_cq or CompletionQueue(self.env)
         self.recv_cq = recv_cq or CompletionQueue(self.env)
         self.remote: Optional["QueuePair"] = None
+        #: Non-None once the QP has transitioned to the error state
+        #: (fault injection / fatal transport failure); holds the reason.
+        self.error: Optional[str] = None
         self._recv_queue: Store = Store(self.env,
                                         name="rdma.recv_queue")  # posted recv WRs
 
@@ -252,14 +255,51 @@ class QueuePair:
         self.remote = remote
         remote.remote = self
 
+    def transition_to_error(self, reason: str) -> None:
+        """Move the QP to the error state and flush its work requests.
+
+        Mirrors IBV_QPS_ERR semantics: posted RECV WRs complete to the
+        recv CQ with a flush status, processes parked waiting for a RECV
+        to match are failed with :class:`RdmaError`, and every later
+        verb on this QP raises until it is replaced (RC QPs cannot be
+        repaired in place; recovery creates fresh QPs in the same PD).
+        """
+        if self.error is not None:
+            return
+        self.error = reason
+        rq = self._recv_queue
+        # Flush posted-but-unmatched receive buffers.
+        while rq.items:
+            wr_id, _mr = rq.items.popleft()
+            self.recv_cq.push(Completion(wr_id, "recv", "flush-err"))
+        # Fail senders parked on the recv queue (RNR wait) — their SEND
+        # can no longer complete.
+        exc = RdmaError(f"QP {self.qp_num} flushed: {reason}")
+        wt = self.env._wait_tracer
+        for getter in list(rq._getters):
+            if not getter.triggered:
+                if wt is not None:
+                    wt.end_block(getter)
+                getter.fail(exc)
+        rq._getters.clear()
+
     def _require_remote(self) -> "QueuePair":
+        if self.error is not None:
+            raise RdmaError(f"QP {self.qp_num} is in the error state: {self.error}")
         if self.remote is None:
             raise RdmaError(f"QP {self.qp_num} is not connected")
+        if self.remote.error is not None:
+            raise RdmaError(
+                f"remote QP {self.remote.qp_num} is in the error state: "
+                f"{self.remote.error}"
+            )
         return self.remote
 
     # -- two-sided ------------------------------------------------------------
     def post_recv(self, wr_id: int, mr: Optional[MemoryRegion] = None) -> None:
         """Post a receive work request (buffer optional in virtual mode)."""
+        if self.error is not None:
+            raise RdmaError(f"QP {self.qp_num} is in the error state: {self.error}")
         self._recv_queue.put((wr_id, mr))
 
     def post_send(
@@ -284,6 +324,12 @@ class QueuePair:
         if span is not None:
             span.finish()
         yield from self._wire(remote, size, trace=trace, stage="rdma.eager")
+        if self.error is not None or remote.error is not None:
+            # The QP broke while the message was on the wire.
+            raise RdmaError(
+                f"QP {self.qp_num} failed in flight: "
+                f"{self.error or remote.error}"
+            )
 
         # Receiver must have a posted RECV (flow control is the upper
         # layer's job; we block until one is available, like an RC QP

@@ -71,6 +71,12 @@ class TcpConnection:
             b.node.name: Store(env, name=f"{b.node.name}.tcp_internal"),
         }
         self.closed = False
+        #: Injected-reset window end: sends raise :class:`ConnectionError`
+        #: while ``env.now < fail_until``.  The connection object (and its
+        #: inboxes, with any parked receivers) survives the reset — only
+        #: the stream is interrupted, as with a kernel RST + reconnect.
+        self.fail_until = 0.0
+        self._env = env
         #: Per-direction hot-path capsule: every object :meth:`send` needs
         #: for a ``src -> peer`` message, resolved once at connect time
         #: instead of through 10+ attribute/dict lookups per message.
@@ -109,6 +115,10 @@ class TcpConnection:
         """
         if self.closed:
             raise ConnectionError(f"connection {self.conn_id} is closed")
+        if self.fail_until > self._env.now:
+            raise ConnectionError(
+                f"connection {self.conn_id} reset (injected fault)"
+            )
         cap = self._dir.get(msg.src)
         if cap is None:
             raise KeyError(f"{msg.src!r} is not an endpoint of this connection")
@@ -196,6 +206,12 @@ class TcpConnection:
     def recv_internal(self, name: str):
         """Event yielding the next provider-internal message for ``name``."""
         return self.internal[name].get()
+
+    def reset(self, duration: float) -> None:
+        """Injected reset: sends fail for ``duration`` sim-seconds."""
+        until = self._env.now + duration
+        if until > self.fail_until:
+            self.fail_until = until
 
     def close(self) -> None:
         """Mark the connection closed; further sends raise."""

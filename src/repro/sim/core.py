@@ -491,7 +491,7 @@ class Environment:
     __slots__ = ("_now", "_queue", "_eid", "_active", "_trace_hook",
                  "_trace_subscribers", "_trace_snapshot",
                  "_events_processed", "_tfree", "_timeouts_recycled",
-                 "_wait_tracer", "_tie_scramble")
+                 "_wait_tracer", "_tie_scramble", "_faults")
 
     def __init__(self, initial_time: float = 0.0,
                  tie_seed: Optional[int] = None) -> None:
@@ -523,6 +523,10 @@ class Environment:
         #: Hot paths pay one ``is not None`` test when no tracer is
         #: installed, mirroring ``_trace_hook`` and station ``_stats``.
         self._wait_tracer = None
+        #: Fault injector (:class:`repro.faults.plan.FaultInjector`) or
+        #: None.  Injection points and recovery loops pay one ``is not
+        #: None`` test when chaos is off — same contract as the tracer.
+        self._faults = None
 
     # -- trace subscription -------------------------------------------------
     def add_trace_subscriber(self, fn: Callable[[Event], None]) -> None:

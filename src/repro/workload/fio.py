@@ -77,6 +77,9 @@ class FioResult:
     iops: float
     bandwidth: float  # bytes/second
     latency: Dict[str, float] = field(default_factory=dict)
+    #: Operations that failed with an error inside the measured window
+    #: (nonzero only under fault injection).
+    errors: int = 0
 
     @property
     def bandwidth_gib(self) -> float:
@@ -107,6 +110,9 @@ class FioResult:
             "bandwidth_gib": self.bandwidth_gib,
             "kiops": self.kiops,
             "latency": dict(self.latency),
+            # Conditional so no-fault artefacts stay byte-identical to the
+            # records committed before fault injection existed.
+            **({"errors": self.errors} if self.errors else {}),
         }
 
     def __str__(self) -> str:
@@ -162,6 +168,20 @@ def run_fio(
     measure_from = t_start + spec.ramp_time
     t_end = measure_from + spec.runtime
     stop = [False]
+    errors = [0]
+
+    fx = env._faults
+    if fx is not None:
+        # Fault event times are relative to the measured window so a plan
+        # written for one spec ports across ramp times unchanged.
+        if fx.armed_at is None:
+            fx.arm(measure_from)
+        from repro.daos.types import DaosError
+        from repro.faults.errors import FaultInjectedError
+        from repro.net.rdma import RdmaError
+        op_errors = (DaosError, FaultInjectedError, RdmaError, ConnectionError)
+    else:
+        op_errors = ()
 
     def lane(env, ctx, pattern, lat):
         while not stop[0]:
@@ -171,12 +191,34 @@ def run_fio(
                 tr = collector.trace(f"fio.{spec.rw}", nbytes=spec.bs)
             else:
                 tr = None
-            if tr is not None:
-                yield from adapter.submit(ctx, offset, spec.bs, spec.is_write,
-                                          trace=tr.root)
-                tr.finish()
+            if fx is None:
+                # The exact pre-chaos hot loop: no counters, no try frame.
+                if tr is not None:
+                    yield from adapter.submit(ctx, offset, spec.bs,
+                                              spec.is_write, trace=tr.root)
+                    tr.finish()
+                else:
+                    yield from adapter.submit(ctx, offset, spec.bs,
+                                              spec.is_write)
             else:
-                yield from adapter.submit(ctx, offset, spec.bs, spec.is_write)
+                fx.stats.submitted += 1
+                try:
+                    if tr is not None:
+                        yield from adapter.submit(ctx, offset, spec.bs,
+                                                  spec.is_write, trace=tr.root)
+                    else:
+                        yield from adapter.submit(ctx, offset, spec.bs,
+                                                  spec.is_write)
+                except op_errors:
+                    fx.stats.failed += 1
+                    if tr is not None:
+                        tr.finish()
+                    if env.now >= measure_from:
+                        errors[0] += 1
+                    continue
+                fx.stats.completed += 1
+                if tr is not None:
+                    tr.finish()
             if env.now >= measure_from:
                 meter.record(spec.bs)
                 lat.record(env.now - t0)
@@ -212,4 +254,5 @@ def run_fio(
         iops=meter.ops_per_sec(),
         bandwidth=meter.bytes_per_sec(),
         latency=lat.summary() if spec.record_latency else {},
+        errors=errors[0],
     )

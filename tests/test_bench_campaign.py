@@ -81,12 +81,19 @@ class TestExpandSpec:
         with pytest.raises(ValueError, match="duplicate cell"):
             cp.expand_spec(spec)
 
-    def test_committed_ci_spec_names_the_committed_ledger(self):
-        spec = cp.load_spec(os.path.join(
-            os.path.dirname(LEDGER_DIR), "campaigns", "fig5_ci.json"))
-        keys = {cp.cell_key(c) for c in cp.expand_spec(spec)}
+    def test_committed_ci_specs_name_the_committed_ledger(self):
+        # Every committed ledger record must be reachable from one of
+        # the two committed campaign specs (fig5 + chaos), and vice
+        # versa — the CI gates regenerate exactly these.
+        campaigns = os.path.join(os.path.dirname(LEDGER_DIR), "campaigns")
+        keys = set()
+        for name, n_cells in (("fig5_ci.json", 4), ("chaos_ci.json", 3)):
+            spec = cp.load_spec(os.path.join(campaigns, name))
+            cells = {cp.cell_key(c) for c in cp.expand_spec(spec)}
+            assert len(cells) == n_cells
+            keys |= cells
         committed = lg.list_runs(LEDGER_DIR)
-        assert len(keys) == len(committed) == 4
+        assert len(keys) == len(committed) == 7
         for record in committed:
             assert cp.cell_key(record["config"]) in keys
 

@@ -125,7 +125,7 @@ class TestRunsSubcommand:
     def test_json_listing_parses(self, capsys):
         assert main(["runs", "--ledger-dir", LEDGER_DIR, "--json"]) == 0
         rows = json.loads(capsys.readouterr().out)
-        assert {r["kind"] for r in rows} == {"doctor"}
+        assert {r["kind"] for r in rows} == {"doctor", "chaos"}
         assert all(r["iops"] > 0 for r in rows)
 
     def test_bad_ref_exits_2(self, capsys):
